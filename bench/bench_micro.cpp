@@ -1,0 +1,185 @@
+// Microbenchmarks (google-benchmark) for the cost centers the paper
+// discusses: hypervolume computation versus objective count (the overhead
+// MOELA's decomposition-based local search avoids, Sec. IV.B), routing and
+// objective evaluation (the evaluation cost), random-forest training and
+// prediction (the Eval model), and the variation operators.
+#include <benchmark/benchmark.h>
+
+#include "ml/random_forest.hpp"
+#include "moo/hypervolume.hpp"
+#include "moo/scalarize.hpp"
+#include "noc/generator.hpp"
+#include "noc/objectives.hpp"
+#include "noc/problem.hpp"
+#include "noc/routing.hpp"
+#include "sim/rodinia.hpp"
+#include "util/rng.hpp"
+
+using namespace moela;
+
+namespace {
+
+std::vector<moo::ObjectiveVector> random_front(std::size_t n, std::size_t m,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<moo::ObjectiveVector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    moo::ObjectiveVector p(m);
+    double s = 0.0;
+    for (auto& v : p) {
+      v = -std::log(1.0 - rng.uniform());
+      s += v;
+    }
+    for (auto& v : p) v = v / s + 0.02 * rng.uniform();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+// Hypervolume cost grows steeply with objective count — the PHV-in-the-
+// inner-loop overhead of MOOS/MOO-STAGE.
+void BM_HypervolumeByObjectives(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto points = random_front(50, m, 7);
+  const moo::ObjectiveVector ref(m, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::hypervolume(points, ref));
+  }
+}
+BENCHMARK(BM_HypervolumeByObjectives)->DenseRange(2, 6);
+
+void BM_HypervolumeByFrontSize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto points = random_front(n, 5, 11);
+  const moo::ObjectiveVector ref(5, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::hypervolume(points, ref));
+  }
+}
+BENCHMARK(BM_HypervolumeByFrontSize)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+// The Eq. (8) scalarization MOELA uses instead — constant in M for
+// practical purposes.
+void BM_WeightedDistance(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const moo::ObjectiveVector obj(m, 0.4);
+  const moo::ObjectiveVector w(m, 1.0 / static_cast<double>(m));
+  const moo::ObjectiveVector z(m, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moo::weighted_distance(obj, w, z));
+  }
+}
+BENCHMARK(BM_WeightedDistance)->DenseRange(2, 6);
+
+struct NocFixture {
+  noc::PlatformSpec spec = noc::PlatformSpec::paper_4x4x4();
+  noc::Workload workload = sim::make_workload(spec, sim::RodiniaApp::kBfs, 1);
+  noc::DesignOps ops{spec};
+  util::Rng rng{42};
+  noc::NocDesign design = ops.random_design(rng);
+};
+
+void BM_RoutingTableBuild(benchmark::State& state) {
+  NocFixture f;
+  for (auto _ : state) {
+    noc::RoutingTable routes(f.spec, f.design);
+    benchmark::DoNotOptimize(routes.hops(0, 63));
+  }
+}
+BENCHMARK(BM_RoutingTableBuild);
+
+void BM_FullObjectiveEvaluation(benchmark::State& state) {
+  NocFixture f;
+  const noc::NocObjectiveParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        noc::evaluate_objectives(f.spec, f.design, f.workload, params));
+  }
+}
+BENCHMARK(BM_FullObjectiveEvaluation);
+
+void BM_RandomDesign(benchmark::State& state) {
+  NocFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ops.random_design(f.rng));
+  }
+}
+BENCHMARK(BM_RandomDesign);
+
+void BM_RandomNeighbor(benchmark::State& state) {
+  NocFixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ops.random_neighbor(f.design, f.rng));
+  }
+}
+BENCHMARK(BM_RandomNeighbor);
+
+void BM_Crossover(benchmark::State& state) {
+  NocFixture f;
+  const noc::NocDesign other = f.ops.random_design(f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ops.crossover(f.design, other, f.rng));
+  }
+}
+BENCHMARK(BM_Crossover);
+
+ml::Dataset eval_style_dataset(std::size_t samples, std::size_t features) {
+  util::Rng rng(3);
+  ml::Dataset d(features);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::vector<double> x(features);
+    for (auto& v : x) v = rng.uniform();
+    d.add(std::move(x), rng.uniform());
+  }
+  return d;
+}
+
+void BM_ForestTrain(benchmark::State& state) {
+  const auto d =
+      eval_style_dataset(static_cast<std::size_t>(state.range(0)), 260);
+  ml::ForestConfig config;
+  config.num_trees = 10;
+  config.max_depth = 10;
+  config.max_features = 24;
+  config.subsample = 0.7;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    ml::RandomForest forest(config);
+    forest.fit(d, rng);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+}
+BENCHMARK(BM_ForestTrain)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const auto d = eval_style_dataset(2000, 260);
+  ml::ForestConfig config;
+  config.num_trees = 10;
+  config.max_depth = 10;
+  config.max_features = 24;
+  util::Rng rng(5);
+  ml::RandomForest forest(config);
+  forest.fit(d, rng);
+  std::vector<double> x(260, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(x));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  noc::PlatformSpec spec = noc::PlatformSpec::paper_4x4x4();
+  auto workload = sim::make_workload(spec, sim::RodiniaApp::kBfs, 1);
+  noc::NocProblem problem(spec, workload, 5);
+  util::Rng rng(7);
+  const auto d = problem.random_design(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.features(d));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

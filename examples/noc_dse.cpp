@@ -1,0 +1,74 @@
+// Full design-space-exploration flow on the paper's platform: run MOELA,
+// MOEA/D and MOOS on one Rodinia-like application under the same wall-clock
+// budget, compare anytime PHV, and apply the Fig. 3 temperature-constrained
+// EDP selection to pick one design per algorithm.
+//
+//   ./build/examples/noc_dse [seconds_budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/edp_selection.hpp"
+#include "exp/scenario.hpp"
+#include "moo/metrics.hpp"
+#include "noc/constraints.hpp"
+#include "util/table.hpp"
+
+using namespace moela;
+
+int main(int argc, char** argv) {
+  exp::PaperBenchConfig config;
+  config.max_seconds = argc > 1 ? std::atof(argv[1]) : 4.0;
+  config.max_evaluations = 40000;
+
+  const auto app = sim::RodiniaApp::kStreamcluster;
+  std::printf("Exploring %s on %s (5 objectives, %.1f s per algorithm)\n",
+              sim::app_name(app).c_str(),
+              exp::bench_platform(config).describe().c_str(),
+              config.max_seconds);
+
+  const auto r = exp::run_app_scenario(app, 5, config);
+
+  // --- Search-quality comparison at the common stop time.
+  util::Table quality("Search quality (shared normalization)");
+  quality.set_header({"algorithm", "evaluations", "wall (s)", "PHV @ T*"});
+  for (std::size_t i = 0; i < config.algorithms.size(); ++i) {
+    quality.add_row({exp::algorithm_name(config.algorithms[i]),
+                     std::to_string(r.runs[i].evaluations),
+                     util::fmt(r.runs[i].seconds, 2),
+                     util::fmt(r.final_phv[i], 4)});
+  }
+  quality.print();
+
+  // --- Fig. 3 rule: pick one deployable design per algorithm.
+  const auto spec = exp::bench_platform(config);
+  const auto workload = sim::make_workload(spec, app, config.seed);
+  const auto arch = sim::archetype(app);
+  std::vector<std::vector<exp::ScoredDesign>> populations;
+  for (const auto& run : r.runs) {
+    populations.push_back(
+        exp::score_population(spec, run.final_designs, workload, arch));
+  }
+  const auto selections = exp::select_by_edp(populations);
+
+  util::Table picks("Selected designs (temperature-constrained lowest EDP)");
+  picks.set_header({"algorithm", "EDP (J*s)", "exec time (s)", "energy (J)",
+                    "peak temp", "within 5% threshold", "feasible"});
+  for (std::size_t i = 0; i < selections.size(); ++i) {
+    const auto& sel = selections[i];
+    const auto& design =
+        r.runs[i].final_designs[sel.chosen.index];
+    picks.add_row({exp::algorithm_name(config.algorithms[i]),
+                   util::fmt(sel.chosen.score.edp, 2),
+                   util::fmt(sel.chosen.score.exec_time, 3),
+                   util::fmt(sel.chosen.score.energy, 2),
+                   util::fmt(sel.chosen.score.peak_temperature, 2),
+                   sel.within_threshold ? "yes" : "no (coolest fallback)",
+                   noc::is_feasible(spec, design) ? "yes" : "NO"});
+  }
+  picks.print();
+
+  const auto overheads = exp::edp_overheads(selections, 0);
+  std::printf("\nEDP overhead vs MOELA: MOEA/D %+.1f%%, MOOS %+.1f%%\n",
+              overheads[1] * 100.0, overheads[2] * 100.0);
+  return 0;
+}

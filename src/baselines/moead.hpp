@@ -1,0 +1,50 @@
+// MOEA/D baseline (Zhang & Li 2007, reference [5] of the paper): the
+// decomposition-based evolutionary algorithm MOELA is benchmarked against.
+// Shares the sub-problem machinery of core/decomposition.hpp; contains no
+// local search and no learning.
+#pragma once
+
+#include <cstddef>
+
+#include "core/decomposition.hpp"
+#include "core/eval_context.hpp"
+#include "moo/problem.hpp"
+
+namespace moela::baselines {
+
+struct MoeaDConfig {
+  std::size_t population_size = 50;
+  /// Neighborhood mating probability.
+  double delta = 0.9;
+  std::size_t neighborhood_size = 10;
+  std::size_t max_generations = 1000;
+  std::size_t max_replacements = 2;
+};
+
+template <moo::MooProblem P>
+class MoeaD {
+ public:
+  explicit MoeaD(MoeaDConfig config = {}) : config_(config) {}
+
+  core::DecompositionPopulation<P> run(core::EvalContext<P>& ctx) {
+    core::DecompositionPopulation<P> pop(config_.population_size,
+                                         ctx.problem().num_objectives(),
+                                         config_.neighborhood_size);
+    ctx.set_solution_set_provider([&pop] { return pop.objective_set(); });
+    pop.initialize(ctx);
+    for (std::size_t gen = 0;
+         gen < config_.max_generations && !ctx.exhausted(); ++gen) {
+      core::decomposition_ea_generation(ctx, pop, config_.delta,
+                                        config_.max_replacements);
+    }
+    ctx.set_solution_set_provider(nullptr);
+    return pop;
+  }
+
+  const MoeaDConfig& config() const { return config_; }
+
+ private:
+  MoeaDConfig config_;
+};
+
+}  // namespace moela::baselines

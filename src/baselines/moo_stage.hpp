@@ -1,0 +1,124 @@
+// MOO-STAGE baseline (Joardar et al., IEEE TC 2019, reference [8] of the
+// paper), reimplemented from its published description: STAGE (Boyan &
+// Moore 2001) lifted to multi-objective search. It alternates between
+//  (a) a PHV-greedy local search over the Pareto archive, and
+//  (b) a meta-search: a random-forest value function trained on past
+//      trajectories predicts the PHV gain attainable from a given start,
+//      and the next start is chosen by hill-climbing this learned function
+//      (cheap model queries instead of real evaluations).
+// The learned function here must consider the current archive implicitly
+// (its targets are archive-PHV gains) — the "complex learned evaluation
+// function" the MOELA paper contrasts with its decomposition-based Eval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/archive_search.hpp"
+#include "core/eval_context.hpp"
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "moo/problem.hpp"
+
+namespace moela::baselines {
+
+struct MooStageConfig {
+  std::size_t archive_capacity = 50;
+  std::size_t initial_designs = 50;
+  std::size_t searches_per_iteration = 5;
+  std::size_t max_iterations = 1000;
+  /// Iterations with random starts before the value function kicks in.
+  std::size_t iter_early = 2;
+  /// Candidate starts scored by the learned model per guided selection
+  /// (the STAGE meta-search width).
+  std::size_t meta_candidates = 32;
+  std::size_t train_capacity = 10000;
+  ml::ForestConfig forest;
+  PhvSearchConfig search;
+};
+
+template <moo::MooProblem P>
+class MooStage {
+ public:
+  using Design = typename P::Design;
+
+  explicit MooStage(MooStageConfig config = {}) : config_(config) {}
+
+  DesignArchive<P> run(core::EvalContext<P>& ctx) {
+    DesignArchive<P> archive(config_.archive_capacity);
+    ctx.set_solution_set_provider(
+        [&archive] { return archive.objective_set(); });
+    for (std::size_t i = 0;
+         i < config_.initial_designs && !ctx.exhausted(); ++i) {
+      Design d = ctx.problem().random_design(ctx.rng());
+      moo::ObjectiveVector obj = ctx.evaluate(d);
+      archive.insert(std::move(d), std::move(obj));
+    }
+
+    ml::Dataset dataset(ctx.problem().num_features(), config_.train_capacity);
+    ml::RandomForest value_function(config_.forest);
+    bool trained = false;
+
+    for (std::size_t iter = 0;
+         iter < config_.max_iterations && !ctx.exhausted(); ++iter) {
+      for (std::size_t s = 0;
+           s < config_.searches_per_iteration && !ctx.exhausted(); ++s) {
+        if (archive.empty()) break;
+        const Design start = select_start(ctx, archive, value_function,
+                                          trained && iter >= config_.iter_early);
+        std::vector<std::vector<double>> trajectory;
+        const double gain =
+            phv_local_search(ctx, archive, start, config_.search, &trajectory);
+        // STAGE labeling: every visited design maps to the search outcome.
+        for (auto& features : trajectory) {
+          dataset.add(std::move(features), -gain);  // minimize -gain
+        }
+      }
+      if (!dataset.empty()) {
+        value_function = ml::RandomForest(config_.forest);
+        value_function.fit(dataset, ctx.rng());
+        trained = true;
+      }
+    }
+    ctx.set_solution_set_provider(nullptr);
+    return archive;
+  }
+
+  const MooStageConfig& config() const { return config_; }
+
+ private:
+  /// STAGE meta-search: propose candidate starts (archive members and their
+  /// mutations) and take the one the value function scores best. Falls back
+  /// to a random archive member before the model is trained.
+  Design select_start(core::EvalContext<P>& ctx,
+                      const DesignArchive<P>& archive,
+                      const ml::RandomForest& value_function,
+                      bool guided) const {
+    const auto& entries = archive.entries();
+    if (!guided) {
+      return entries[ctx.rng().below(entries.size())].design;
+    }
+    Design best = entries[ctx.rng().below(entries.size())].design;
+    double best_score = value_function.predict(ctx.problem().features(best));
+    for (std::size_t k = 1; k < config_.meta_candidates; ++k) {
+      const auto& base =
+          entries[ctx.rng().below(entries.size())].design;
+      // Half the candidates are archive members, half one-step mutations —
+      // a lightweight hill-climb in design space using only model queries.
+      Design candidate = (k % 2 == 0)
+                             ? base
+                             : ctx.problem().random_neighbor(base, ctx.rng());
+      const double score =
+          value_function.predict(ctx.problem().features(candidate));
+      if (score < best_score) {  // dataset targets are -gain: lower = better
+        best_score = score;
+        best = std::move(candidate);
+      }
+    }
+    return best;
+  }
+
+  MooStageConfig config_;
+};
+
+}  // namespace moela::baselines

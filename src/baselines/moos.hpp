@@ -1,0 +1,194 @@
+// MOOS baseline (Deshwal, Belakaria, Doppa, Pande — ACM TECS 2019,
+// reference [7] of the paper), reimplemented from the MOELA paper's
+// description of it (our primary source):
+//  * it performs greedy LOCAL SEARCHES over the entire archive of solutions
+//    "for all objectives", each search descending a scalarized direction;
+//  * it "uses learned information to adjust the local search direction" —
+//    modeled as a bandit over scalarization directions whose reward is the
+//    observed archive-PHV gain of each search;
+//  * it performs "repeated calculations of PHV during local search" — the
+//    computational overhead Sec. IV.B of the MOELA paper criticizes. Every
+//    candidate step pays an archive-PHV-gain computation to produce the
+//    direction-learning signal, and that cost grows steeply with the
+//    number of objectives;
+//  * being a pure local-search framework it has no recombination stage, so
+//    its Pareto front diversity relies entirely on the direction bandit —
+//    the diversity weakness the paper attributes to it.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "baselines/archive_search.hpp"
+#include "core/eval_context.hpp"
+#include "core/local_search.hpp"
+#include "moo/pareto.hpp"
+#include "moo/problem.hpp"
+#include "moo/scalarize.hpp"
+#include "moo/weights.hpp"
+
+namespace moela::baselines {
+
+struct MoosConfig {
+  /// Archive capacity (kept comparable to the EAs' population size).
+  std::size_t archive_capacity = 50;
+  /// Random designs seeding the archive.
+  std::size_t initial_designs = 50;
+  /// Scalarization directions available to the bandit.
+  std::size_t num_directions = 50;
+  /// Local searches per iteration.
+  std::size_t searches_per_iteration = 5;
+  std::size_t max_iterations = 1000;
+  /// Softmax temperature for direction selection (lower = greedier; MOOS is
+  /// a greedy framework).
+  double temperature = 0.15;
+  /// Exponential-moving-average factor for the per-direction gain estimate.
+  double gain_ema = 0.5;
+  /// Descent budget per search (same knobs as MOELA's local search).
+  core::LocalSearchConfig search;
+};
+
+template <moo::MooProblem P>
+class Moos {
+ public:
+  using Design = typename P::Design;
+
+  explicit Moos(MoosConfig config = {}) : config_(config) {}
+
+  /// Runs until the evaluation budget or iteration cap binds; returns the
+  /// final design archive.
+  DesignArchive<P> run(core::EvalContext<P>& ctx) {
+    const std::size_t m = ctx.problem().num_objectives();
+    DesignArchive<P> archive(config_.archive_capacity);
+    ctx.set_solution_set_provider(
+        [&archive] { return archive.objective_set(); });
+    moo::ReferencePoint z(m);
+
+    // Seed the archive with random designs.
+    for (std::size_t i = 0;
+         i < config_.initial_designs && !ctx.exhausted(); ++i) {
+      Design d = ctx.problem().random_design(ctx.rng());
+      moo::ObjectiveVector obj = ctx.evaluate(d);
+      z.update(obj);
+      archive.insert(std::move(d), std::move(obj));
+    }
+
+    const auto directions =
+        moo::uniform_weights(m, config_.num_directions);
+    std::vector<double> gain_estimate(directions.size(), 1.0);
+
+    for (std::size_t iter = 0;
+         iter < config_.max_iterations && !ctx.exhausted(); ++iter) {
+      for (std::size_t s = 0;
+           s < config_.searches_per_iteration && !ctx.exhausted(); ++s) {
+        if (archive.empty()) break;
+        const std::size_t dir = pick_direction(ctx, gain_estimate);
+        const double gain =
+            directional_search(ctx, archive, directions[dir], z);
+        // Learning signal: shift the direction's gain estimate toward the
+        // observed outcome.
+        gain_estimate[dir] = (1.0 - config_.gain_ema) * gain_estimate[dir] +
+                             config_.gain_ema * gain;
+      }
+    }
+    ctx.set_solution_set_provider(nullptr);
+    return archive;
+  }
+
+  const MoosConfig& config() const { return config_; }
+
+ private:
+  /// One greedy first-improvement descent along direction `w`, starting
+  /// from the archive's best member for that direction. Every candidate
+  /// step computes the archive-PHV gain (the criticized overhead) to feed
+  /// the direction bandit; accepted designs enter the archive.
+  double directional_search(core::EvalContext<P>& ctx,
+                            DesignArchive<P>& archive,
+                            const moo::WeightVector& w,
+                            moo::ReferencePoint& z) const {
+    // Normalization scale from the archive's objective ranges.
+    const auto points = archive.objective_set();
+    const auto nadir = moo::nadir_point(points);
+    moo::ObjectiveVector scale(z.size(), 1.0);
+    for (std::size_t k = 0; k < scale.size(); ++k) {
+      scale[k] = std::max(nadir[k] - z.value()[k], 1e-12);
+    }
+
+    const std::size_t start = best_start_for(archive, w, z.value(), scale);
+    Design current = archive.entries()[start].design;
+    double current_g = moo::weighted_distance_scaled(
+        archive.entries()[start].objectives, w, z.value(), scale);
+
+    double total_gain = 0.0;
+    std::size_t steps = 0, stale = 0, spent = 0;
+    while (steps < config_.search.max_steps &&
+           stale < config_.search.patience &&
+           spent < config_.search.max_evaluations && !ctx.exhausted()) {
+      Design n = ctx.problem().random_neighbor(current, ctx.rng());
+      moo::ObjectiveVector obj = ctx.evaluate(n);
+      ++spent;
+      z.update(obj);
+      // The per-candidate PHV computation MOOS pays to learn direction
+      // quality (Sec. IV.B: "repeated calculations of PHV during local
+      // search can lead to large computational overhead").
+      const double phv_gain = archive.phv_gain(obj);
+      const double g = moo::weighted_distance_scaled(obj, w, z.value(), scale);
+      if (g < current_g) {
+        current = std::move(n);
+        current_g = g;
+        archive.insert(current, obj);
+        total_gain += std::max(phv_gain, 0.0);
+        ++steps;
+        stale = 0;
+      } else {
+        ++stale;
+      }
+    }
+    return total_gain;
+  }
+
+  std::size_t pick_direction(core::EvalContext<P>& ctx,
+                             const std::vector<double>& gain_estimate) const {
+    // Softmax over gain estimates (normalized by the max for stability).
+    double max_gain = 0.0;
+    for (double g : gain_estimate) max_gain = std::max(max_gain, g);
+    const double scale = max_gain > 0.0 ? max_gain : 1.0;
+    std::vector<double> weights(gain_estimate.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] =
+          std::exp(gain_estimate[i] / scale / config_.temperature);
+      total += weights[i];
+    }
+    double r = ctx.rng().uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// The archive member with the best scalarized value along `w`.
+  std::size_t best_start_for(const DesignArchive<P>& archive,
+                             const moo::WeightVector& w,
+                             const moo::ObjectiveVector& z,
+                             const moo::ObjectiveVector& scale) const {
+    std::size_t best = 0;
+    double best_g = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < archive.size(); ++i) {
+      const double g = moo::weighted_distance_scaled(
+          archive.entries()[i].objectives, w, z, scale);
+      if (g < best_g) {
+        best_g = g;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  MoosConfig config_;
+};
+
+}  // namespace moela::baselines

@@ -1,0 +1,140 @@
+// NSGA-II baseline (Deb et al. 2002, reference [4] of the paper): elitist
+// non-dominated sorting GA with crowding-distance diversity. Included as an
+// extension baseline (the paper discusses it as the classic EA for computer
+// system design problems).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/eval_context.hpp"
+#include "moo/pareto.hpp"
+#include "moo/problem.hpp"
+
+namespace moela::baselines {
+
+struct Nsga2Config {
+  std::size_t population_size = 50;
+  std::size_t max_generations = 1000;
+};
+
+template <moo::MooProblem P>
+class Nsga2 {
+ public:
+  using Design = typename P::Design;
+
+  struct Individual {
+    Design design;
+    moo::ObjectiveVector objectives;
+  };
+
+  explicit Nsga2(Nsga2Config config = {}) : config_(config) {}
+
+  std::vector<Individual> run(core::EvalContext<P>& ctx) {
+    std::vector<Individual> pop;
+    ctx.set_solution_set_provider([&pop] {
+      std::vector<moo::ObjectiveVector> out;
+      out.reserve(pop.size());
+      for (const auto& ind : pop) out.push_back(ind.objectives);
+      return out;
+    });
+    pop.reserve(config_.population_size);
+    for (std::size_t i = 0;
+         i < config_.population_size && !ctx.exhausted(); ++i) {
+      Design d = ctx.problem().random_design(ctx.rng());
+      moo::ObjectiveVector obj = ctx.evaluate(d);
+      pop.push_back({std::move(d), std::move(obj)});
+    }
+
+    for (std::size_t gen = 0;
+         gen < config_.max_generations && !ctx.exhausted(); ++gen) {
+      // Rank + crowding of the current population for tournament selection.
+      auto [rank, crowd] = rank_and_crowding(pop);
+
+      std::vector<Individual> offspring;
+      offspring.reserve(pop.size());
+      while (offspring.size() < pop.size() && !ctx.exhausted()) {
+        const std::size_t p1 = tournament(ctx, rank, crowd);
+        const std::size_t p2 = tournament(ctx, rank, crowd);
+        Design child = ctx.problem().crossover(pop[p1].design, pop[p2].design,
+                                               ctx.rng());
+        child = ctx.problem().mutate(child, ctx.rng());
+        moo::ObjectiveVector obj = ctx.evaluate(child);
+        offspring.push_back({std::move(child), std::move(obj)});
+      }
+
+      // Elitist (mu + lambda) survival by front then crowding.
+      for (auto& ind : offspring) pop.push_back(std::move(ind));
+      pop = survive(std::move(pop), config_.population_size);
+    }
+    ctx.set_solution_set_provider(nullptr);
+    return pop;
+  }
+
+  const Nsga2Config& config() const { return config_; }
+
+ private:
+  static std::pair<std::vector<std::size_t>, std::vector<double>>
+  rank_and_crowding(const std::vector<Individual>& pop) {
+    std::vector<moo::ObjectiveVector> points;
+    points.reserve(pop.size());
+    for (const auto& ind : pop) points.push_back(ind.objectives);
+    const auto fronts = moo::non_dominated_sort(points);
+    std::vector<std::size_t> rank(pop.size(), 0);
+    std::vector<double> crowd(pop.size(), 0.0);
+    for (std::size_t f = 0; f < fronts.size(); ++f) {
+      const auto dist = moo::crowding_distance(points, fronts[f]);
+      for (std::size_t k = 0; k < fronts[f].size(); ++k) {
+        rank[fronts[f][k]] = f;
+        crowd[fronts[f][k]] = dist[k];
+      }
+    }
+    return {std::move(rank), std::move(crowd)};
+  }
+
+  std::size_t tournament(core::EvalContext<P>& ctx,
+                         const std::vector<std::size_t>& rank,
+                         const std::vector<double>& crowd) const {
+    const std::size_t a = ctx.rng().below(rank.size());
+    const std::size_t b = ctx.rng().below(rank.size());
+    if (rank[a] != rank[b]) return rank[a] < rank[b] ? a : b;
+    return crowd[a] >= crowd[b] ? a : b;
+  }
+
+  static std::vector<Individual> survive(std::vector<Individual> merged,
+                                         std::size_t target) {
+    std::vector<moo::ObjectiveVector> points;
+    points.reserve(merged.size());
+    for (const auto& ind : merged) points.push_back(ind.objectives);
+    const auto fronts = moo::non_dominated_sort(points);
+
+    std::vector<Individual> next;
+    next.reserve(target);
+    for (const auto& front : fronts) {
+      if (next.size() + front.size() <= target) {
+        for (std::size_t i : front) next.push_back(std::move(merged[i]));
+      } else {
+        // Partial front: keep the most crowded-distant members.
+        const auto dist = moo::crowding_distance(points, front);
+        std::vector<std::size_t> order(front.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t x, std::size_t y) {
+                    return dist[x] > dist[y];
+                  });
+        for (std::size_t k = 0; k < order.size() && next.size() < target;
+             ++k) {
+          next.push_back(std::move(merged[front[order[k]]]));
+        }
+      }
+      if (next.size() >= target) break;
+    }
+    return next;
+  }
+
+  Nsga2Config config_;
+};
+
+}  // namespace moela::baselines

@@ -1,0 +1,113 @@
+// Evaluation bookkeeping shared by every algorithm in the library.
+//
+// The number of full objective evaluations is the experiment time axis
+// (DESIGN.md, "Key design decisions"): EvalContext counts them, maintains
+// the all-time Pareto archive, and records archive snapshots at a fixed
+// evaluation cadence so the harness can compute anytime-PHV traces after the
+// fact with a globally consistent normalization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "moo/archive.hpp"
+#include "moo/objective.hpp"
+#include "moo/problem.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace moela::core {
+
+/// One archive snapshot: the non-dominated objective set after
+/// `evaluations` objective evaluations.
+struct ArchiveSnapshot {
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+  std::vector<moo::ObjectiveVector> front;
+};
+
+template <moo::MooProblem P>
+class EvalContext {
+ public:
+  using Design = typename P::Design;
+
+  /// `max_evaluations` is the evaluation budget; `snapshot_interval` is the
+  /// trace cadence (0 disables snapshots); `max_seconds` > 0 adds a
+  /// wall-clock budget (the paper's T_stop runs every algorithm for the
+  /// same wall time — the axis on which the baselines pay their
+  /// per-candidate overheads).
+  EvalContext(const P& problem, std::uint64_t seed,
+              std::size_t max_evaluations, std::size_t snapshot_interval = 0,
+              double max_seconds = 0.0)
+      : problem_(&problem),
+        rng_(seed),
+        max_evaluations_(max_evaluations),
+        snapshot_interval_(snapshot_interval),
+        max_seconds_(max_seconds) {}
+
+  /// Evaluates a design, counts it, and folds the result into the archive.
+  moo::ObjectiveVector evaluate(const Design& d) {
+    moo::ObjectiveVector obj = problem_->evaluate(d);
+    ++evaluations_;
+    archive_.insert(obj, evaluations_);
+    if (snapshot_interval_ > 0 &&
+        evaluations_ >= next_snapshot_) {
+      take_snapshot();
+      next_snapshot_ = evaluations_ + snapshot_interval_;
+    }
+    return obj;
+  }
+
+  const P& problem() const { return *problem_; }
+  util::Rng& rng() { return rng_; }
+
+  std::size_t evaluations() const { return evaluations_; }
+  std::size_t max_evaluations() const { return max_evaluations_; }
+  bool exhausted() const {
+    if (evaluations_ >= max_evaluations_) return true;
+    return max_seconds_ > 0.0 && timer_.elapsed_seconds() >= max_seconds_;
+  }
+  double elapsed_seconds() const { return timer_.elapsed_seconds(); }
+
+  /// All-time non-dominated set over every evaluation in this run.
+  const moo::ParetoArchive& archive() const { return archive_; }
+
+  const std::vector<ArchiveSnapshot>& snapshots() const { return snapshots_; }
+
+  /// Registers a callback returning the algorithm's CURRENT solution set
+  /// (population or bounded archive). Snapshots then record that set — the
+  /// paper's PHV is measured on what the algorithm maintains, not on the
+  /// union of everything it ever evaluated. Algorithms install this right
+  /// after constructing their population; without a provider, snapshots
+  /// fall back to the all-time archive front.
+  void set_solution_set_provider(
+      std::function<std::vector<moo::ObjectiveVector>()> provider) {
+    solution_set_provider_ = std::move(provider);
+  }
+
+  /// Appends a snapshot of the current solution set (harness calls this
+  /// once a run finishes; evaluate() calls it at the snapshot cadence).
+  void take_snapshot() {
+    std::vector<moo::ObjectiveVector> front;
+    if (solution_set_provider_) front = solution_set_provider_();
+    if (front.empty()) front = archive_.objective_set();
+    snapshots_.push_back(
+        {evaluations_, timer_.elapsed_seconds(), std::move(front)});
+  }
+
+ private:
+  const P* problem_;
+  util::Rng rng_;
+  std::size_t max_evaluations_;
+  std::size_t snapshot_interval_;
+  double max_seconds_ = 0.0;
+  std::size_t next_snapshot_ = 1;
+  std::size_t evaluations_ = 0;
+  moo::ParetoArchive archive_;
+  std::vector<ArchiveSnapshot> snapshots_;
+  std::function<std::vector<moo::ObjectiveVector>()> solution_set_provider_;
+  util::Timer timer_;
+};
+
+}  // namespace moela::core

@@ -1,0 +1,80 @@
+// The learned evaluation function Eval (Sec. IV.B).
+//
+// Eval maps (design features, weight vector) -> predicted final Eq. (8)
+// value of a greedy local search launched from that design with that weight.
+// Lower predictions identify the most promising local-search starting
+// points (Algorithm 2, MLguide). The model is a random forest over the
+// aggregated trajectory set S_train, bounded to the most recent `capacity`
+// samples (the paper uses |S_train| <= 10K).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/random_forest.hpp"
+#include "moo/weights.hpp"
+#include "util/rng.hpp"
+
+namespace moela::core {
+
+class EvalModel {
+ public:
+  /// `design_features` is the problem's feature width. Every sample is the
+  /// concatenation [design features | objective vector | weight vector]:
+  /// all trajectory designs were evaluated during the search, and Eval is
+  /// only ever queried on (already evaluated) population members, so the
+  /// objective vector is free information that makes the final-g regression
+  /// far better conditioned than structural features alone.
+  EvalModel(std::size_t design_features, std::size_t num_objectives,
+            std::size_t capacity = 10000, ml::ForestConfig forest = {})
+      : num_objectives_(num_objectives),
+        dataset_(design_features + 2 * num_objectives, capacity),
+        forest_config_(forest) {}
+
+  /// Appends one labeled trajectory sample.
+  void add_sample(std::vector<double> design_features,
+                  const moo::ObjectiveVector& objectives,
+                  const moo::WeightVector& weight, double final_g) {
+    design_features.insert(design_features.end(), objectives.begin(),
+                           objectives.end());
+    design_features.insert(design_features.end(), weight.begin(),
+                           weight.end());
+    dataset_.add(std::move(design_features), final_g);
+  }
+
+  std::size_t num_samples() const { return dataset_.size(); }
+
+  /// (Re)trains the forest on the current window. No-op on an empty set.
+  void train(util::Rng& rng) {
+    if (dataset_.empty()) return;
+    forest_ = ml::RandomForest(forest_config_);
+    forest_.fit(dataset_, rng);
+    trained_ = true;
+  }
+
+  bool trained() const { return trained_; }
+
+  /// Predicted final local-search value from this (design, weight) start.
+  double predict(std::vector<double> design_features,
+                 const moo::ObjectiveVector& objectives,
+                 const moo::WeightVector& weight) const {
+    design_features.insert(design_features.end(), objectives.begin(),
+                           objectives.end());
+    design_features.insert(design_features.end(), weight.begin(),
+                           weight.end());
+    return forest_.predict(design_features);
+  }
+
+  const ml::Dataset& dataset() const { return dataset_; }
+
+ private:
+  std::size_t num_objectives_;
+  ml::Dataset dataset_;
+  ml::ForestConfig forest_config_;
+  ml::RandomForest forest_;
+  bool trained_ = false;
+};
+
+}  // namespace moela::core

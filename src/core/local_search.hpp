@@ -1,0 +1,105 @@
+// MOELA's greedy-descent local search (Sec. IV.B).
+//
+// From a starting design, repeatedly samples a batch of feasible neighbors,
+// moves to the best one if it improves the Eq. (8) weighted distance
+//     g(Obj | w, z) = sum_i w_i |Obj_i - z_i|,
+// and stops when no sampled neighbor improves (or budgets run out). Every
+// design visited is recorded; the caller labels the whole trajectory with
+// the final g value and appends it to the Eval training set, exactly as
+// STAGE does.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/eval_context.hpp"
+#include "moo/objective.hpp"
+#include "moo/problem.hpp"
+#include "moo/scalarize.hpp"
+
+namespace moela::core {
+
+struct LocalSearchConfig {
+  /// Consecutive non-improving neighbor samples before the search stops
+  /// (first-improvement descent: any improving neighbor is accepted
+  /// immediately).
+  std::size_t patience = 8;
+  /// Hard cap on accepted steps.
+  std::size_t max_steps = 40;
+  /// Hard cap on objective evaluations spent by one search.
+  std::size_t max_evaluations = 120;
+};
+
+template <moo::MooProblem P>
+struct LocalSearchResult {
+  using Design = typename P::Design;
+
+  /// One visited design on the descent path: its problem features and its
+  /// (already computed) objective vector. The Eval training set uses both —
+  /// every trajectory member was evaluated during the search, so its
+  /// objectives are free information for the regressor.
+  struct Visit {
+    Design design;
+    std::vector<double> features;
+    moo::ObjectiveVector objectives;
+    /// Scaled Eq. (8) value of this design at visit time.
+    double g = 0.0;
+  };
+
+  Design best;
+  moo::ObjectiveVector best_objectives;
+  double best_g = 0.0;
+  /// Start + each accepted step; the training target for all is `best_g`.
+  std::vector<Visit> trajectory;
+  std::size_t steps_taken = 0;
+};
+
+/// Runs the greedy descent from (`start`, `start_obj`) for weight `w` toward
+/// reference point `z`, with per-objective normalization `scale` (the
+/// population's ideal-to-nadir ranges; see scalarize.hpp). Never exceeds the
+/// context's evaluation budget: the search ends early if the budget runs out
+/// mid-step.
+template <moo::MooProblem P>
+LocalSearchResult<P> local_search(EvalContext<P>& ctx,
+                                  const typename P::Design& start,
+                                  const moo::ObjectiveVector& start_obj,
+                                  const moo::WeightVector& w,
+                                  const moo::ObjectiveVector& z,
+                                  const moo::ObjectiveVector& scale,
+                                  const LocalSearchConfig& config = {}) {
+  LocalSearchResult<P> result;
+  result.best = start;
+  result.best_objectives = start_obj;
+  result.best_g = moo::weighted_distance_scaled(start_obj, w, z, scale);
+  result.trajectory.push_back(
+      {start, ctx.problem().features(start), start_obj, result.best_g});
+
+  std::size_t stale = 0;       // consecutive non-improving samples
+  std::size_t spent = 0;       // evaluations consumed by this search
+  while (result.steps_taken < config.max_steps &&
+         stale < config.patience && spent < config.max_evaluations) {
+    if (ctx.exhausted()) break;
+    typename P::Design n =
+        ctx.problem().random_neighbor(result.best, ctx.rng());
+    moo::ObjectiveVector obj = ctx.evaluate(n);
+    ++spent;
+    const double g = moo::weighted_distance_scaled(obj, w, z, scale);
+    if (g < result.best_g) {
+      // First improvement: accept immediately and continue from there.
+      result.best = std::move(n);
+      result.best_objectives = obj;
+      result.best_g = g;
+      result.trajectory.push_back(
+          {result.best, ctx.problem().features(result.best), std::move(obj),
+           g});
+      ++result.steps_taken;
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  }
+  return result;
+}
+
+}  // namespace moela::core

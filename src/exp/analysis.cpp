@@ -1,0 +1,64 @@
+#include "exp/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "moo/hypervolume.hpp"
+#include "moo/pareto.hpp"
+
+namespace moela::exp {
+
+ObjectiveBounds global_bounds(const SnapshotSet& runs) {
+  ObjectiveBounds bounds;
+  bool first = true;
+  for (const auto& run : runs) {
+    for (const auto& snapshot : run) {
+      for (const auto& p : snapshot.front) {
+        if (first) {
+          bounds.ideal = p;
+          bounds.nadir = p;
+          first = false;
+          continue;
+        }
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          bounds.ideal[i] = std::min(bounds.ideal[i], p[i]);
+          bounds.nadir[i] = std::max(bounds.nadir[i], p[i]);
+        }
+      }
+    }
+  }
+  if (first) throw std::invalid_argument("global_bounds: no points");
+  return bounds;
+}
+
+std::vector<moo::ConvergenceTrace> phv_traces(const SnapshotSet& runs,
+                                              const ObjectiveBounds& bounds) {
+  std::vector<moo::ConvergenceTrace> traces;
+  traces.reserve(runs.size());
+  for (const auto& run : runs) {
+    moo::ConvergenceTrace trace;
+    trace.reserve(run.size());
+    for (const auto& snapshot : run) {
+      moo::TracePoint point;
+      point.evaluations = snapshot.evaluations;
+      point.seconds = snapshot.seconds;
+      point.phv = moo::normalized_hypervolume(snapshot.front, bounds.ideal,
+                                              bounds.nadir);
+      trace.push_back(point);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+double final_phv(const std::vector<moo::ObjectiveVector>& front,
+                 const ObjectiveBounds& bounds) {
+  return moo::normalized_hypervolume(front, bounds.ideal, bounds.nadir);
+}
+
+double phv_gain(double ours, double other) {
+  if (other <= 0.0) return 0.0;
+  return ours / other - 1.0;
+}
+
+}  // namespace moela::exp

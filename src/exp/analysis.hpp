@@ -1,0 +1,41 @@
+// Cross-run analysis: converts the archive snapshots of several runs into
+// PHV-vs-evaluations traces with a SHARED normalization (global ideal/nadir
+// over all runs of the same scenario), then computes the Sec. V.C metrics —
+// speed-up factor and PHV gain — between algorithms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/eval_context.hpp"
+#include "moo/metrics.hpp"
+#include "moo/objective.hpp"
+
+namespace moela::exp {
+
+/// Snapshot sequences of all runs being compared (index = run).
+using SnapshotSet = std::vector<std::vector<core::ArchiveSnapshot>>;
+
+/// Global component-wise ideal/nadir over every front of every run; the
+/// shared normalization frame that makes PHV comparable across algorithms.
+struct ObjectiveBounds {
+  moo::ObjectiveVector ideal;
+  moo::ObjectiveVector nadir;
+};
+ObjectiveBounds global_bounds(const SnapshotSet& runs);
+
+/// Anytime PHV trace of each run under the shared bounds
+/// (reference point 1.1^M).
+std::vector<moo::ConvergenceTrace> phv_traces(const SnapshotSet& runs,
+                                              const ObjectiveBounds& bounds);
+
+/// Final normalized PHV of a front under the given bounds.
+double final_phv(const std::vector<moo::ObjectiveVector>& front,
+                 const ObjectiveBounds& bounds);
+
+/// PHV gain of `ours` over `other` per Sec. V.C metric 2:
+/// PHV(ours)/PHV(other) - 1 (reported as a percentage in Table II).
+double phv_gain(double ours, double other);
+
+}  // namespace moela::exp

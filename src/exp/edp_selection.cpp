@@ -1,0 +1,76 @@
+#include "exp/edp_selection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace moela::exp {
+
+std::vector<ScoredDesign> score_population(
+    const noc::PlatformSpec& spec,
+    const std::vector<noc::NocDesign>& designs, const noc::Workload& workload,
+    const sim::AppArchetype& arch, const noc::NocObjectiveParams& obj_params,
+    const sim::EdpModelParams& model) {
+  std::vector<ScoredDesign> out;
+  out.reserve(designs.size());
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    ScoredDesign s;
+    s.score =
+        sim::estimate_edp(spec, designs[i], workload, arch, obj_params, model);
+    s.index = i;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<EdpSelection> select_by_edp(
+    const std::vector<std::vector<ScoredDesign>>& populations,
+    double threshold_margin) {
+  // Global lowest peak temperature over every candidate of every algorithm.
+  double min_temp = std::numeric_limits<double>::infinity();
+  for (const auto& pop : populations) {
+    for (const auto& s : pop) {
+      min_temp = std::min(min_temp, s.score.peak_temperature);
+    }
+  }
+  if (!std::isfinite(min_temp)) {
+    throw std::invalid_argument("select_by_edp: empty populations");
+  }
+  const double threshold = min_temp * (1.0 + threshold_margin);
+
+  std::vector<EdpSelection> selections;
+  selections.reserve(populations.size());
+  for (const auto& pop : populations) {
+    EdpSelection sel;
+    double best_edp = std::numeric_limits<double>::infinity();
+    double best_temp = std::numeric_limits<double>::infinity();
+    ScoredDesign coolest;
+    for (const auto& s : pop) {
+      if (s.score.peak_temperature <= threshold && s.score.edp < best_edp) {
+        best_edp = s.score.edp;
+        sel.chosen = s;
+        sel.within_threshold = true;
+      }
+      if (s.score.peak_temperature < best_temp) {
+        best_temp = s.score.peak_temperature;
+        coolest = s;
+      }
+    }
+    if (!sel.within_threshold) sel.chosen = coolest;  // paper's fallback
+    selections.push_back(sel);
+  }
+  return selections;
+}
+
+std::vector<double> edp_overheads(const std::vector<EdpSelection>& selections,
+                                  std::size_t baseline_index) {
+  const double base = selections.at(baseline_index).chosen.score.edp;
+  std::vector<double> out;
+  out.reserve(selections.size());
+  for (const auto& sel : selections) {
+    out.push_back(base > 0.0 ? sel.chosen.score.edp / base - 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace moela::exp

@@ -1,0 +1,54 @@
+// The Fig. 3 design-selection rule (Sec. V.D):
+//  1. over all candidate designs of an application, find the lowest peak
+//     temperature;
+//  2. set the temperature threshold at 5% above it;
+//  3. for each algorithm, pick the design with the lowest EDP among those
+//     within the threshold (fall back to that algorithm's lowest-temperature
+//     design if none qualifies).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "noc/design.hpp"
+#include "noc/platform.hpp"
+#include "noc/workload.hpp"
+#include "sim/edp.hpp"
+#include "sim/rodinia.hpp"
+
+namespace moela::exp {
+
+/// A scored candidate design from one algorithm's final population.
+struct ScoredDesign {
+  sim::EdpResult score;
+  std::size_t index = 0;  // position in the algorithm's population
+};
+
+/// Per-algorithm selection outcome.
+struct EdpSelection {
+  ScoredDesign chosen;
+  bool within_threshold = false;
+};
+
+/// Scores every design of one population with the EDP model.
+std::vector<ScoredDesign> score_population(
+    const noc::PlatformSpec& spec,
+    const std::vector<noc::NocDesign>& designs, const noc::Workload& workload,
+    const sim::AppArchetype& arch,
+    const noc::NocObjectiveParams& obj_params = {},
+    const sim::EdpModelParams& model = {});
+
+/// Applies the Fig. 3 rule. `populations[a]` holds algorithm a's scored
+/// designs; the temperature threshold is computed over ALL populations.
+/// `threshold_margin` is the paper's 5%.
+std::vector<EdpSelection> select_by_edp(
+    const std::vector<std::vector<ScoredDesign>>& populations,
+    double threshold_margin = 0.05);
+
+/// EDP overhead of each selection relative to the baseline population
+/// (Fig. 3 sets MOELA as the baseline): edp / edp_baseline - 1.
+std::vector<double> edp_overheads(const std::vector<EdpSelection>& selections,
+                                  std::size_t baseline_index);
+
+}  // namespace moela::exp

@@ -1,0 +1,27 @@
+#include "exp/experiment.hpp"
+
+namespace moela::exp {
+
+std::string algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMoela:
+      return "MOELA";
+    case Algorithm::kMoeaD:
+      return "MOEA/D";
+    case Algorithm::kMoos:
+      return "MOOS";
+    case Algorithm::kMooStage:
+      return "MOO-STAGE";
+    case Algorithm::kNsga2:
+      return "NSGA-II";
+    case Algorithm::kMoelaNoMlGuide:
+      return "MOELA-noguide";
+    case Algorithm::kMoelaEaOnly:
+      return "MOELA-EA-only";
+    case Algorithm::kMoelaLocalOnly:
+      return "MOELA-LS-only";
+  }
+  return "unknown";
+}
+
+}  // namespace moela::exp

@@ -1,0 +1,154 @@
+// Experiment runner: executes one algorithm on one problem under a fixed
+// evaluation budget and returns everything the Sec. V metrics need —
+// archive snapshots (for anytime-PHV traces), the final population designs
+// and objectives (for the Fig. 3 EDP selection), and counters.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/moead.hpp"
+#include "baselines/moo_stage.hpp"
+#include "baselines/moos.hpp"
+#include "baselines/nsga2.hpp"
+#include "core/eval_context.hpp"
+#include "core/moela.hpp"
+#include "moo/problem.hpp"
+
+namespace moela::exp {
+
+enum class Algorithm {
+  kMoela,
+  kMoeaD,
+  kMoos,
+  kMooStage,
+  kNsga2,
+  // Ablation variants of MOELA:
+  kMoelaNoMlGuide,     // local-search starts stay random
+  kMoelaEaOnly,        // no local search at all
+  kMoelaLocalOnly,     // no EA stage
+};
+
+std::string algorithm_name(Algorithm a);
+
+struct RunConfig {
+  std::size_t max_evaluations = 20000;
+  /// Wall-clock budget in seconds; 0 disables it. When set, a run stops at
+  /// whichever budget binds first (the paper's T_stop is wall-clock).
+  double max_seconds = 0.0;
+  std::size_t snapshot_interval = 500;
+  std::uint64_t seed = 1;
+  /// Population / archive size shared by every algorithm (fairness).
+  std::size_t population_size = 50;
+  /// Local searches per iteration for the LS-based methods (n_local).
+  std::size_t n_local = 5;
+  core::MoelaConfig moela;          // further MOELA knobs
+  baselines::MoosConfig moos;       // further MOOS knobs
+  baselines::MooStageConfig stage;  // further MOO-STAGE knobs
+};
+
+template <moo::MooProblem P>
+struct RunResult {
+  Algorithm algorithm{};
+  std::vector<core::ArchiveSnapshot> snapshots;
+  /// The all-time Pareto front of the run (objective vectors).
+  std::vector<moo::ObjectiveVector> final_front;
+  /// Final population/archive (designs + objectives), for design selection.
+  std::vector<typename P::Design> final_designs;
+  std::vector<moo::ObjectiveVector> final_objectives;
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+};
+
+/// Runs `algorithm` on `problem`. All algorithms receive the same budget,
+/// population sizing, and a seed derived from config.seed.
+template <moo::MooProblem P>
+RunResult<P> run_algorithm(Algorithm algorithm, const P& problem,
+                           const RunConfig& config) {
+  core::EvalContext<P> ctx(problem, config.seed, config.max_evaluations,
+                           config.snapshot_interval, config.max_seconds);
+  RunResult<P> result;
+  result.algorithm = algorithm;
+
+  auto from_decomposition = [&](const core::DecompositionPopulation<P>& pop) {
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      result.final_designs.push_back(pop.design(i));
+      result.final_objectives.push_back(pop.objectives(i));
+    }
+  };
+
+  switch (algorithm) {
+    case Algorithm::kMoela:
+    case Algorithm::kMoelaNoMlGuide:
+    case Algorithm::kMoelaEaOnly:
+    case Algorithm::kMoelaLocalOnly: {
+      core::MoelaConfig mc = config.moela;
+      mc.population_size = config.population_size;
+      mc.n_local = config.n_local;
+      if (algorithm == Algorithm::kMoelaNoMlGuide) mc.use_ml_guide = false;
+      if (algorithm == Algorithm::kMoelaEaOnly) mc.use_local_search = false;
+      if (algorithm == Algorithm::kMoelaLocalOnly) mc.use_ea = false;
+      core::Moela<P> algo(mc);
+      from_decomposition(algo.run(ctx));
+      break;
+    }
+    case Algorithm::kMoeaD: {
+      baselines::MoeaDConfig mc;
+      mc.population_size = config.population_size;
+      core::MoelaConfig defaults;
+      mc.delta = defaults.delta;
+      baselines::MoeaD<P> algo(mc);
+      from_decomposition(algo.run(ctx));
+      break;
+    }
+    case Algorithm::kMoos: {
+      baselines::MoosConfig mc = config.moos;
+      mc.archive_capacity = config.population_size;
+      mc.initial_designs = config.population_size;
+      mc.num_directions = config.population_size;
+      mc.searches_per_iteration = config.n_local;
+      baselines::Moos<P> algo(mc);
+      const auto archive = algo.run(ctx);
+      for (const auto& e : archive.entries()) {
+        result.final_designs.push_back(e.design);
+        result.final_objectives.push_back(e.objectives);
+      }
+      break;
+    }
+    case Algorithm::kMooStage: {
+      baselines::MooStageConfig mc = config.stage;
+      mc.archive_capacity = config.population_size;
+      mc.initial_designs = config.population_size;
+      mc.searches_per_iteration = config.n_local;
+      baselines::MooStage<P> algo(mc);
+      const auto archive = algo.run(ctx);
+      for (const auto& e : archive.entries()) {
+        result.final_designs.push_back(e.design);
+        result.final_objectives.push_back(e.objectives);
+      }
+      break;
+    }
+    case Algorithm::kNsga2: {
+      baselines::Nsga2Config mc;
+      mc.population_size = config.population_size;
+      baselines::Nsga2<P> algo(mc);
+      const auto pop = algo.run(ctx);
+      for (const auto& ind : pop) {
+        result.final_designs.push_back(ind.design);
+        result.final_objectives.push_back(ind.objectives);
+      }
+      break;
+    }
+  }
+
+  ctx.take_snapshot();  // final state
+  result.snapshots = ctx.snapshots();
+  result.final_front = ctx.archive().objective_set();
+  result.evaluations = ctx.evaluations();
+  result.seconds = ctx.elapsed_seconds();
+  return result;
+}
+
+}  // namespace moela::exp

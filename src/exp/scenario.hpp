@@ -1,0 +1,67 @@
+// Paper-scenario runner shared by the bench binaries: executes a set of
+// algorithms on one (application, objective-count) instance of the Sec. V
+// setup and derives the shared-normalization PHV traces.
+//
+// Wall-clock knobs come from the environment so CI and laptops can scale
+// the experiments without recompiling:
+//   MOELA_BENCH_SECONDS — wall-clock budget per run, seconds (default 6)
+//   MOELA_BENCH_EVALS   — evaluation-cap backstop    (default 40000)
+//   MOELA_BENCH_SMALL   — "1" = 3x3x3 platform instead of the paper's 4x4x4
+//   MOELA_BENCH_SEED    — root seed                  (default 1)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/analysis.hpp"
+#include "exp/experiment.hpp"
+#include "noc/problem.hpp"
+#include "sim/rodinia.hpp"
+
+namespace moela::exp {
+
+struct PaperBenchConfig {
+  /// Evaluation cap (a backstop; the wall-clock budget normally binds).
+  std::size_t max_evaluations = 40000;
+  /// Wall-clock budget per run, seconds — the T_stop of Sec. V.B scaled to
+  /// bench scale. Identical for every algorithm.
+  double max_seconds = 6.0;
+  std::size_t snapshot_interval = 250;
+  std::uint64_t seed = 1;
+  bool small_platform = false;
+  std::vector<Algorithm> algorithms = {Algorithm::kMoela, Algorithm::kMoeaD,
+                                       Algorithm::kMoos};
+};
+
+/// Reads the MOELA_BENCH_* environment overrides.
+PaperBenchConfig paper_bench_config_from_env();
+
+/// The per-run configuration used by every paper bench (forest sizing etc.
+/// tuned for the NoC feature width).
+RunConfig tuned_run_config(const PaperBenchConfig& config);
+
+/// The platform the benches run on (paper 4x4x4 or the reduced 3x3x3).
+noc::PlatformSpec bench_platform(const PaperBenchConfig& config);
+
+/// One (app, m) cell of the evaluation: per-algorithm results plus the
+/// shared-normalization anytime-PHV traces (index-aligned with
+/// config.algorithms).
+struct AppScenarioResult {
+  sim::RodiniaApp app;
+  std::size_t num_objectives = 0;
+  std::vector<RunResult<noc::NocProblem>> runs;
+  ObjectiveBounds bounds;
+  std::vector<moo::ConvergenceTrace> traces;
+  /// PHV per algorithm at the common wall-clock stop time (T_stop = the
+  /// earliest finish among the runs; every algorithm had at least that much
+  /// wall time, the axis the paper compares on).
+  std::vector<double> final_phv;
+  double common_stop_seconds = 0.0;
+};
+
+/// Runs every configured algorithm on (app, m). Deterministic per seed.
+AppScenarioResult run_app_scenario(sim::RodiniaApp app,
+                                   std::size_t num_objectives,
+                                   const PaperBenchConfig& config);
+
+}  // namespace moela::exp

@@ -1,0 +1,19 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace moela::ml {
+
+void Dataset::add(std::vector<double> features, double target) {
+  if (features.size() != num_features_) {
+    throw std::invalid_argument("Dataset: feature width mismatch");
+  }
+  features_.push_back(std::move(features));
+  targets_.push_back(target);
+  while (capacity_ > 0 && features_.size() > capacity_) {
+    features_.pop_front();
+    targets_.pop_front();
+  }
+}
+
+}  // namespace moela::ml

@@ -1,0 +1,193 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace moela::ml {
+
+namespace {
+
+double mean_target(const Dataset& data, std::span<const std::size_t> idx) {
+  double s = 0.0;
+  for (std::size_t i : idx) s += data.target(i);
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+/// Finds the best (threshold, SSE) split of `idx` on `feature`. Returns
+/// infinity SSE when no valid split exists (all values equal or leaf bound).
+struct SplitResult {
+  double sse = std::numeric_limits<double>::infinity();
+  double threshold = 0.0;
+};
+
+SplitResult best_split_on_feature(const Dataset& data,
+                                  std::span<const std::size_t> idx,
+                                  std::size_t feature,
+                                  std::size_t min_samples_leaf,
+                                  std::vector<std::size_t>& scratch) {
+  scratch.assign(idx.begin(), idx.end());
+  std::sort(scratch.begin(), scratch.end(), [&](std::size_t a, std::size_t b) {
+    return data.features(a)[feature] < data.features(b)[feature];
+  });
+
+  const std::size_t n = scratch.size();
+  // Prefix sums allow O(1) SSE of each side:
+  //   SSE = sum(y^2) - (sum y)^2 / n.
+  double left_sum = 0.0, left_sq = 0.0;
+  double total_sum = 0.0, total_sq = 0.0;
+  for (std::size_t i : scratch) {
+    const double y = data.target(i);
+    total_sum += y;
+    total_sq += y * y;
+  }
+
+  SplitResult best;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const double y = data.target(scratch[k]);
+    left_sum += y;
+    left_sq += y * y;
+    const double xk = data.features(scratch[k])[feature];
+    const double xn = data.features(scratch[k + 1])[feature];
+    if (xk == xn) continue;  // cannot split between equal values
+    const std::size_t nl = k + 1;
+    const std::size_t nr = n - nl;
+    if (nl < min_samples_leaf || nr < min_samples_leaf) continue;
+    const double right_sum = total_sum - left_sum;
+    const double right_sq = total_sq - left_sq;
+    const double sse_l = left_sq - left_sum * left_sum / static_cast<double>(nl);
+    const double sse_r =
+        right_sq - right_sum * right_sum / static_cast<double>(nr);
+    const double sse = sse_l + sse_r;
+    if (sse < best.sse) {
+      best.sse = sse;
+      best.threshold = 0.5 * (xk + xn);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::size_t> sample_indices,
+                       const TreeConfig& config, util::Rng& rng) {
+  if (sample_indices.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: no samples");
+  }
+  nodes_.clear();
+  std::vector<std::size_t> idx(sample_indices.begin(), sample_indices.end());
+  build(data, idx, 0, idx.size(), config, 0, rng);
+}
+
+void DecisionTree::fit(const Dataset& data, const TreeConfig& config,
+                       util::Rng& rng) {
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  fit(data, all, config, rng);
+}
+
+std::size_t DecisionTree::build(const Dataset& data,
+                                std::vector<std::size_t>& indices,
+                                std::size_t begin, std::size_t end,
+                                const TreeConfig& config, std::size_t depth,
+                                util::Rng& rng) {
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+  std::span<const std::size_t> idx(indices.data() + begin, end - begin);
+  const double value = mean_target(data, idx);
+  nodes_[node_id].value = value;
+
+  const std::size_t n = end - begin;
+  bool make_leaf = depth >= config.max_depth || n < config.min_samples_split;
+  if (!make_leaf) {
+    // Leaf if targets are (numerically) constant.
+    bool constant = true;
+    for (std::size_t i : idx) {
+      if (std::abs(data.target(i) - value) > 1e-12) {
+        constant = false;
+        break;
+      }
+    }
+    make_leaf = constant;
+  }
+  if (make_leaf) return node_id;
+
+  // Candidate features: a random subset of size max_features (forest mode)
+  // or all features.
+  const std::size_t f = data.num_features();
+  std::vector<std::size_t> feats;
+  if (config.max_features == 0 || config.max_features >= f) {
+    feats.resize(f);
+    std::iota(feats.begin(), feats.end(), std::size_t{0});
+  } else {
+    feats = rng.sample_indices(f, config.max_features);
+  }
+
+  SplitResult best;
+  std::size_t best_feature = Node::kLeaf;
+  std::vector<std::size_t> scratch;
+  for (std::size_t feature : feats) {
+    const SplitResult r = best_split_on_feature(
+        data, idx, feature, config.min_samples_leaf, scratch);
+    if (r.sse < best.sse) {
+      best = r;
+      best_feature = feature;
+    }
+  }
+  if (best_feature == Node::kLeaf) return node_id;  // no valid split found
+
+  // Partition [begin, end) in place around the chosen threshold.
+  auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return data.features(i)[best_feature] <= best.threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate partition
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best.threshold;
+  const std::size_t left =
+      build(data, indices, begin, mid, config, depth + 1, rng);
+  const std::size_t right =
+      build(data, indices, mid, end, config, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict before fit");
+  }
+  std::size_t node = 0;
+  while (nodes_[node].feature != Node::kLeaf) {
+    node = features[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::size_t DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (nodes_[node].feature != Node::kLeaf) {
+      stack.push_back({nodes_[node].left, d + 1});
+      stack.push_back({nodes_[node].right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace moela::ml

@@ -1,0 +1,62 @@
+// CART regression tree: axis-aligned binary splits minimizing the sum of
+// squared errors, grown depth-first with the usual stopping rules.
+//
+// The tree is the base learner of the random forest that implements MOELA's
+// (and MOO-STAGE's) learned evaluation function. Exact split search over all
+// candidate thresholds of a random feature subset per node.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace moela::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Number of features examined per node; 0 means all features
+  /// (set by the forest to ~f/3 for regression, the standard default).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fits the tree to `data` restricted to `sample_indices` (the forest
+  /// passes a bootstrap sample; pass all indices for a plain tree).
+  void fit(const Dataset& data, std::span<const std::size_t> sample_indices,
+           const TreeConfig& config, util::Rng& rng);
+
+  /// Convenience overload over the full dataset.
+  void fit(const Dataset& data, const TreeConfig& config, util::Rng& rng);
+
+  double predict(std::span<const double> features) const;
+
+  bool trained() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Leaf iff feature == kLeaf; then `value` is the prediction.
+    static constexpr std::size_t kLeaf = static_cast<std::size_t>(-1);
+    std::size_t feature = kLeaf;
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    double value = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+  };
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                    std::size_t begin, std::size_t end,
+                    const TreeConfig& config, std::size_t depth,
+                    util::Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace moela::ml

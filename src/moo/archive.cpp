@@ -1,0 +1,55 @@
+#include "moo/archive.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "moo/pareto.hpp"
+
+namespace moela::moo {
+
+bool ParetoArchive::insert(ObjectiveVector objectives, std::size_t id) {
+  for (const auto& e : entries_) {
+    const Dominance d = compare(e.objectives, objectives);
+    if (d == Dominance::kDominates || d == Dominance::kEqual) return false;
+  }
+  std::erase_if(entries_, [&](const Entry& e) {
+    return compare(objectives, e.objectives) == Dominance::kDominates;
+  });
+  entries_.push_back(Entry{std::move(objectives), id});
+  if (capacity_ > 0 && entries_.size() > capacity_) evict_most_crowded();
+  return true;
+}
+
+bool ParetoArchive::would_accept(const ObjectiveVector& obj) const {
+  for (const auto& e : entries_) {
+    const Dominance d = compare(e.objectives, obj);
+    if (d == Dominance::kDominates || d == Dominance::kEqual) return false;
+  }
+  return true;
+}
+
+std::vector<ObjectiveVector> ParetoArchive::objective_set() const {
+  std::vector<ObjectiveVector> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.objectives);
+  return out;
+}
+
+void ParetoArchive::evict_most_crowded() {
+  // Evict the entry with the smallest crowding distance (most redundant).
+  const auto points = objective_set();
+  std::vector<std::size_t> front(points.size());
+  for (std::size_t i = 0; i < front.size(); ++i) front[i] = i;
+  const auto dist = crowding_distance(points, front);
+  std::size_t victim = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (dist[i] < best) {
+      best = dist[i];
+      victim = i;
+    }
+  }
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+}
+
+}  // namespace moela::moo

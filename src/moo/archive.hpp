@@ -1,0 +1,52 @@
+// Pareto archive of objective vectors with user payload ids.
+//
+// Algorithms use the archive to track every non-dominated point seen over a
+// run. The harness computes anytime-PHV from archive snapshots; MOOS and
+// MOO-STAGE run their local searches over the archive itself.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "moo/objective.hpp"
+
+namespace moela::moo {
+
+/// A non-dominated set with an optional capacity bound. Each entry carries an
+/// opaque `id` so callers can map archive members back to designs.
+class ParetoArchive {
+ public:
+  struct Entry {
+    ObjectiveVector objectives;
+    std::size_t id = 0;
+  };
+
+  /// `capacity` == 0 means unbounded. When bounded and full, the entry with
+  /// the smallest crowding distance is evicted to preserve spread.
+  explicit ParetoArchive(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Attempts to insert. Returns true iff the point enters the archive
+  /// (i.e. it is not dominated by, nor equal to, an existing entry).
+  /// Dominated incumbents are removed.
+  bool insert(ObjectiveVector objectives, std::size_t id);
+
+  /// True if `obj` would be accepted (non-dominated vs. current content).
+  bool would_accept(const ObjectiveVector& obj) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// All objective vectors (for metrics computation).
+  std::vector<ObjectiveVector> objective_set() const;
+
+ private:
+  void evict_most_crowded();
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace moela::moo

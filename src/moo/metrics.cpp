@@ -1,0 +1,115 @@
+#include "moo/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace moela::moo {
+
+double igd(const std::vector<ObjectiveVector>& approx,
+           const std::vector<ObjectiveVector>& reference_front) {
+  if (reference_front.empty()) return 0.0;
+  if (approx.empty()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (const auto& r : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& a : approx) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        const double d = a[i] - r[i];
+        s += d * d;
+      }
+      best = std::min(best, s);
+    }
+    total += std::sqrt(best);
+  }
+  return total / static_cast<double>(reference_front.size());
+}
+
+std::optional<std::size_t> convergence_index(const ConvergenceTrace& trace,
+                                             double rel_tol,
+                                             std::size_t window) {
+  if (trace.empty()) return std::nullopt;
+  for (std::size_t i = 0; i + window < trace.size(); ++i) {
+    const double base = trace[i].phv;
+    if (base <= 0.0) continue;
+    bool settled = true;
+    for (std::size_t j = i + 1; j <= i + window; ++j) {
+      if ((trace[j].phv - base) / base >= rel_tol) {
+        settled = false;
+        break;
+      }
+    }
+    if (settled) return i;
+  }
+  // Never settled within the run: treat the final point as convergence.
+  return trace.size() - 1;
+}
+
+std::optional<double> evaluations_to_reach(const ConvergenceTrace& trace,
+                                           double phv_target) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].phv >= phv_target) {
+      if (i == 0) return static_cast<double>(trace[0].evaluations);
+      // Interpolate between samples i-1 and i for a smoother estimate.
+      const double p0 = trace[i - 1].phv;
+      const double p1 = trace[i].phv;
+      const double e0 = static_cast<double>(trace[i - 1].evaluations);
+      const double e1 = static_cast<double>(trace[i].evaluations);
+      if (p1 <= p0) return e1;
+      const double t = (phv_target - p0) / (p1 - p0);
+      return e0 + t * (e1 - e0);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> seconds_to_reach(const ConvergenceTrace& trace,
+                                       double phv_target) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].phv >= phv_target) {
+      if (i == 0) return trace[0].seconds;
+      const double p0 = trace[i - 1].phv;
+      const double p1 = trace[i].phv;
+      if (p1 <= p0) return trace[i].seconds;
+      const double t = (phv_target - p0) / (p1 - p0);
+      return trace[i - 1].seconds +
+             t * (trace[i].seconds - trace[i - 1].seconds);
+    }
+  }
+  return std::nullopt;
+}
+
+double phv_at_time(const ConvergenceTrace& trace, double t) {
+  double phv = 0.0;
+  for (const auto& point : trace) {
+    if (point.seconds > t) break;
+    phv = point.phv;
+  }
+  return phv;
+}
+
+std::optional<double> speedup_factor_time(const ConvergenceTrace& ours,
+                                          const ConvergenceTrace& other,
+                                          double rel_tol,
+                                          std::size_t window) {
+  const auto conv = convergence_index(other, rel_tol, window);
+  if (!conv || ours.empty()) return std::nullopt;
+  const TracePoint& converged = other[*conv];
+  const auto our_seconds = seconds_to_reach(ours, converged.phv);
+  if (!our_seconds || *our_seconds <= 0.0) return std::nullopt;
+  return converged.seconds / *our_seconds;
+}
+
+std::optional<double> speedup_factor(const ConvergenceTrace& ours,
+                                     const ConvergenceTrace& other,
+                                     double rel_tol, std::size_t window) {
+  const auto conv = convergence_index(other, rel_tol, window);
+  if (!conv || ours.empty()) return std::nullopt;
+  const TracePoint& converged = other[*conv];
+  const auto our_evals = evaluations_to_reach(ours, converged.phv);
+  if (!our_evals || *our_evals <= 0.0) return std::nullopt;
+  return static_cast<double>(converged.evaluations) / *our_evals;
+}
+
+}  // namespace moela::moo

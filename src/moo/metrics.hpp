@@ -1,0 +1,66 @@
+// Run-quality metrics and convergence detection (Sec. V.C of the paper).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "moo/objective.hpp"
+
+namespace moela::moo {
+
+/// Inverted generational distance: mean distance from each reference-front
+/// point to its nearest point in `approx`. Lower is better. Used in tests
+/// against problems with known Pareto fronts.
+double igd(const std::vector<ObjectiveVector>& approx,
+           const std::vector<ObjectiveVector>& reference_front);
+
+/// A sampled point on an anytime-quality trace: PHV of the archive after
+/// `evaluations` objective evaluations (and `seconds` of wall time).
+struct TracePoint {
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+  double phv = 0.0;
+};
+
+using ConvergenceTrace = std::vector<TracePoint>;
+
+/// The paper's convergence rule: the first trace point after which PHV
+/// improves by less than `rel_tol` (default 0.5%) over the following
+/// `window` points (default 5). Returns nullopt if the trace never settles.
+std::optional<std::size_t> convergence_index(const ConvergenceTrace& trace,
+                                             double rel_tol = 0.005,
+                                             std::size_t window = 5);
+
+/// Evaluation count at which `trace` first reaches `phv_target`; nullopt if
+/// it never does. Linear interpolation between surrounding samples.
+std::optional<double> evaluations_to_reach(const ConvergenceTrace& trace,
+                                           double phv_target);
+
+/// Wall-clock seconds at which `trace` first reaches `phv_target`; nullopt
+/// if it never does. Linear interpolation between surrounding samples.
+std::optional<double> seconds_to_reach(const ConvergenceTrace& trace,
+                                       double phv_target);
+
+/// PHV of the trace at wall-clock time `t`: the last sample at or before t
+/// (0 before the first sample).
+double phv_at_time(const ConvergenceTrace& trace, double t);
+
+/// Speed-up factor per Sec. V.C: evaluations for `other` to converge divided
+/// by evaluations for `ours` to reach the same PHV. Returns nullopt when
+/// `ours` never reaches the competitor's converged PHV.
+std::optional<double> speedup_factor(const ConvergenceTrace& ours,
+                                     const ConvergenceTrace& other,
+                                     double rel_tol = 0.005,
+                                     std::size_t window = 5);
+
+/// Wall-clock variant of the speed-up factor — the paper's actual metric:
+/// T_convergence(other) / T_ours-to-same-PHV, in seconds. Wall-clock is the
+/// axis on which MOOS/MOO-STAGE pay their per-step hypervolume overhead and
+/// MOELA pays its forest training.
+std::optional<double> speedup_factor_time(const ConvergenceTrace& ours,
+                                          const ConvergenceTrace& other,
+                                          double rel_tol = 0.005,
+                                          std::size_t window = 5);
+
+}  // namespace moela::moo

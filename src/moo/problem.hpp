@@ -1,0 +1,48 @@
+// The MooProblem concept: the contract every design-space-exploration
+// problem exposes to the algorithms in this library.
+//
+// MOELA, MOEA/D, MOOS, MOO-STAGE and NSGA-II are class templates over any
+// type satisfying this concept, so the same algorithm code runs on the 3D
+// NoC platform-design problem (benchmarks) and on analytic test problems
+// with known Pareto fronts (tests, examples).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "moo/objective.hpp"
+#include "util/rng.hpp"
+
+namespace moela::moo {
+
+template <typename P>
+concept MooProblem = requires(const P& p, const typename P::Design& d,
+                              util::Rng& rng) {
+  // The design (genotype) type. Must be copyable.
+  typename P::Design;
+  requires std::copyable<typename P::Design>;
+
+  // Number of (minimized) objectives.
+  { p.num_objectives() } -> std::convertible_to<std::size_t>;
+
+  // Full objective evaluation — the expensive operation whose invocation
+  // count is the time axis of every experiment.
+  { p.evaluate(d) } -> std::convertible_to<ObjectiveVector>;
+
+  // A uniformly random feasible design (population initialization).
+  { p.random_design(rng) } -> std::convertible_to<typename P::Design>;
+
+  // A feasible single-move perturbation of `d` (local-search step).
+  { p.random_neighbor(d, rng) } -> std::convertible_to<typename P::Design>;
+
+  // Genetic operators; both must return feasible designs.
+  { p.crossover(d, d, rng) } -> std::convertible_to<typename P::Design>;
+  { p.mutate(d, rng) } -> std::convertible_to<typename P::Design>;
+
+  // Fixed-width numeric encoding of a design for the learned Eval model.
+  { p.features(d) } -> std::convertible_to<std::vector<double>>;
+  { p.num_features() } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace moela::moo

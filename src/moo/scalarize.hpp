@@ -1,0 +1,107 @@
+// Scalarization functions for decomposition-based search.
+//
+// Two scalarizations appear in the paper:
+//  * Eq. (9): the Tchebycheff function used by the decomposition EA:
+//        g(x | w, z) = max_i  w_i * |Obj_i(x) - z_i|
+//  * Eq. (8): the weighted-sum distance used by MOELA's local search:
+//        g(Obj | w, z) = sum_i  w_i * |Obj_i - z_i|
+// In both, z is the reference point — the component-wise minimum over all
+// objective values seen so far — so |Obj_i - z_i| measures the distance from
+// the best-known value of each (minimized) objective.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "moo/objective.hpp"
+
+namespace moela::moo {
+
+/// Eq. (9): Tchebycheff scalarization (minimization).
+inline double tchebycheff(std::span<const double> obj,
+                          std::span<const double> weight,
+                          std::span<const double> ref) {
+  double g = 0.0;
+  for (std::size_t i = 0; i < obj.size(); ++i) {
+    // A zero weight would make the sub-problem indifferent to objective i;
+    // MOEA/D conventionally substitutes a tiny weight so the corner
+    // sub-problems still rank designs on every axis.
+    const double w = std::max(weight[i], 1e-6);
+    g = std::max(g, w * std::abs(obj[i] - ref[i]));
+  }
+  return g;
+}
+
+/// Eq. (8): weighted-sum distance to the reference point, the minimization
+/// target of MOELA's ML-guided local search.
+inline double weighted_distance(std::span<const double> obj,
+                                std::span<const double> weight,
+                                std::span<const double> ref) {
+  double g = 0.0;
+  for (std::size_t i = 0; i < obj.size(); ++i) {
+    g += weight[i] * std::abs(obj[i] - ref[i]);
+  }
+  return g;
+}
+
+/// Scaled variants: real platform objectives live on wildly different
+/// scales (communication energy is ~10^3 times CPU latency on the paper's
+/// platform), so both scalarizations are applied to range-normalized
+/// deviations |Obj_i - z_i| / scale_i, where scale_i is the population's
+/// ideal-to-nadir range of objective i (the conventional MOEA/D objective
+/// normalization). scale entries are clamped away from zero.
+
+inline double tchebycheff_scaled(std::span<const double> obj,
+                                 std::span<const double> weight,
+                                 std::span<const double> ref,
+                                 std::span<const double> scale) {
+  double g = 0.0;
+  for (std::size_t i = 0; i < obj.size(); ++i) {
+    const double w = std::max(weight[i], 1e-6);
+    const double s = std::max(scale[i], 1e-12);
+    g = std::max(g, w * std::abs(obj[i] - ref[i]) / s);
+  }
+  return g;
+}
+
+inline double weighted_distance_scaled(std::span<const double> obj,
+                                       std::span<const double> weight,
+                                       std::span<const double> ref,
+                                       std::span<const double> scale) {
+  double g = 0.0;
+  for (std::size_t i = 0; i < obj.size(); ++i) {
+    const double s = std::max(scale[i], 1e-12);
+    g += weight[i] * std::abs(obj[i] - ref[i]) / s;
+  }
+  return g;
+}
+
+/// Maintains the reference point z as the component-wise minimum of every
+/// objective vector observed (Sec. IV.C).
+class ReferencePoint {
+ public:
+  explicit ReferencePoint(std::size_t num_objectives)
+      : z_(num_objectives, std::numeric_limits<double>::infinity()) {}
+
+  /// Lowers z where `obj` improves on it. Returns true if z changed.
+  bool update(std::span<const double> obj) {
+    bool changed = false;
+    for (std::size_t i = 0; i < z_.size(); ++i) {
+      if (obj[i] < z_[i]) {
+        z_[i] = obj[i];
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  const ObjectiveVector& value() const { return z_; }
+  std::size_t size() const { return z_.size(); }
+
+ private:
+  ObjectiveVector z_;
+};
+
+}  // namespace moela::moo

@@ -1,0 +1,143 @@
+#include "moo/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace moela::moo {
+
+namespace {
+
+void lattice_recurse(std::size_t dims_left, std::size_t budget,
+                     std::size_t divisions, WeightVector& current,
+                     std::vector<WeightVector>& out) {
+  if (dims_left == 1) {
+    current.push_back(static_cast<double>(budget) /
+                      static_cast<double>(divisions));
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (std::size_t i = 0; i <= budget; ++i) {
+    current.push_back(static_cast<double>(i) /
+                      static_cast<double>(divisions));
+    lattice_recurse(dims_left - 1, budget - i, divisions, current, out);
+    current.pop_back();
+  }
+}
+
+double sq_dist(const WeightVector& a, const WeightVector& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<WeightVector> simplex_lattice(std::size_t num_objectives,
+                                          std::size_t divisions) {
+  if (num_objectives == 0) {
+    throw std::invalid_argument("simplex_lattice: zero objectives");
+  }
+  std::vector<WeightVector> out;
+  WeightVector current;
+  current.reserve(num_objectives);
+  if (divisions == 0) {
+    // Degenerate lattice: the single centroid-like vector (all mass on a
+    // well-defined point is impossible with H=0; use uniform weights).
+    out.emplace_back(num_objectives,
+                     1.0 / static_cast<double>(num_objectives));
+    return out;
+  }
+  lattice_recurse(num_objectives, divisions, divisions, current, out);
+  return out;
+}
+
+std::size_t simplex_lattice_size(std::size_t num_objectives,
+                                 std::size_t divisions) {
+  // C(H + M - 1, M - 1)
+  const std::size_t n = divisions + num_objectives - 1;
+  const std::size_t k = num_objectives - 1;
+  std::size_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+std::vector<WeightVector> uniform_weights(std::size_t num_objectives,
+                                          std::size_t n) {
+  if (n == 0) return {};
+  if (num_objectives == 1) {
+    return std::vector<WeightVector>(n, WeightVector{1.0});
+  }
+  std::size_t divisions = 1;
+  while (simplex_lattice_size(num_objectives, divisions) < n) ++divisions;
+  auto lattice = simplex_lattice(num_objectives, divisions);
+  if (lattice.size() == n) return lattice;
+
+  // Greedy farthest-point selection seeded with the simplex corners so that
+  // every single-objective direction is always represented.
+  std::vector<bool> chosen(lattice.size(), false);
+  std::vector<WeightVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < lattice.size() && out.size() < n; ++i) {
+    if (std::count(lattice[i].begin(), lattice[i].end(), 1.0) == 1) {
+      chosen[i] = true;
+      out.push_back(lattice[i]);
+    }
+  }
+  std::vector<double> min_dist(lattice.size(),
+                               std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < lattice.size(); ++i) {
+    for (const auto& c : out) {
+      min_dist[i] = std::min(min_dist[i], sq_dist(lattice[i], c));
+    }
+  }
+  while (out.size() < n) {
+    std::size_t best = lattice.size();
+    double best_dist = -1.0;
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+      if (chosen[i]) continue;
+      if (min_dist[i] > best_dist) {
+        best_dist = min_dist[i];
+        best = i;
+      }
+    }
+    if (best == lattice.size()) break;  // defensive: lattice exhausted
+    chosen[best] = true;
+    out.push_back(lattice[best]);
+    for (std::size_t i = 0; i < lattice.size(); ++i) {
+      if (!chosen[i]) {
+        min_dist[i] = std::min(min_dist[i], sq_dist(lattice[i], lattice[best]));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> weight_neighborhoods(
+    const std::vector<WeightVector>& weights, std::size_t t) {
+  const std::size_t n = weights.size();
+  t = std::min(t, n);
+  std::vector<std::vector<std::size_t>> hoods(n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return sq_dist(weights[i], weights[a]) <
+                              sq_dist(weights[i], weights[b]);
+                     });
+    hoods[i].assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(t));
+  }
+  return hoods;
+}
+
+}  // namespace moela::moo

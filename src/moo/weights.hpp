@@ -1,0 +1,41 @@
+// Uniformly spread weight vectors for decomposition-based algorithms.
+//
+// MOELA/MOEA/D decompose an M-objective problem into N scalar sub-problems,
+// each steered by a weight vector on the unit simplex. We use the Das–Dennis
+// simplex-lattice construction and, when the lattice size does not equal the
+// requested N, reduce it with a greedy max-min-distance selection that always
+// retains the simplex corners (the paper's 2-objective example
+// {[0,1],[0.1,0.9],...,[1,0]} is exactly the H=10 lattice).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace moela::moo {
+
+using WeightVector = std::vector<double>;
+
+/// Generates the full Das–Dennis simplex lattice with H divisions for
+/// `num_objectives` dimensions: all vectors (i1/H, ..., iM/H) with
+/// sum(i) == H. Lattice size is C(H + M - 1, M - 1).
+std::vector<WeightVector> simplex_lattice(std::size_t num_objectives,
+                                          std::size_t divisions);
+
+/// Number of points in the simplex lattice, C(H + M - 1, M - 1).
+std::size_t simplex_lattice_size(std::size_t num_objectives,
+                                 std::size_t divisions);
+
+/// Produces exactly `n` evenly spread weight vectors for `num_objectives`
+/// dimensions: builds the smallest lattice with >= n points and selects an
+/// n-subset by greedy farthest-point (max-min Euclidean distance) starting
+/// from the corner vectors. Deterministic.
+std::vector<WeightVector> uniform_weights(std::size_t num_objectives,
+                                          std::size_t n);
+
+/// For each weight vector, the indices of the `t` weight vectors closest in
+/// Euclidean distance (including itself), sorted nearest-first. This is the
+/// MOEA/D neighborhood structure.
+std::vector<std::vector<std::size_t>> weight_neighborhoods(
+    const std::vector<WeightVector>& weights, std::size_t t);
+
+}  // namespace moela::moo

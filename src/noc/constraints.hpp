@@ -1,0 +1,37 @@
+// Feasibility rules of Sec. III. The generator and the move/crossover
+// operators only ever produce feasible designs; `validate` is the oracle the
+// tests (and debug builds) use to prove it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "noc/design.hpp"
+#include "noc/platform.hpp"
+
+namespace moela::noc {
+
+/// Result of checking a design against every Sec. III constraint.
+struct ConstraintReport {
+  bool placement_is_permutation = false;
+  bool llcs_on_edge = false;       // memory-controller tiles on die perimeter
+  bool link_budget_respected = false;  // exact planar & vertical counts
+  bool links_legal = false;        // length <= 5 units, adjacency for TSVs
+  bool degree_respected = false;   // <= 7 links per router
+  bool connected = false;          // all-pairs reachability
+  std::vector<std::string> violations;
+
+  bool ok() const {
+    return placement_is_permutation && llcs_on_edge &&
+           link_budget_respected && links_legal && degree_respected &&
+           connected;
+  }
+};
+
+/// Checks every constraint and reports each violation textually.
+ConstraintReport validate(const PlatformSpec& spec, const NocDesign& design);
+
+/// Fast boolean check (used in assertions inside operators).
+bool is_feasible(const PlatformSpec& spec, const NocDesign& design);
+
+}  // namespace moela::noc

@@ -1,0 +1,57 @@
+// A candidate solution of the design problem: a core placement plus a link
+// placement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/link.hpp"
+#include "noc/platform.hpp"
+
+namespace moela::noc {
+
+/// The decision variables of Sec. III: which core occupies each tile and
+/// where the L links are placed. Kept deliberately plain (a value type);
+/// feasibility logic lives in constraints.hpp and the generator.
+struct NocDesign {
+  /// placement[tile] == core id occupying that tile (a permutation of
+  /// 0..num_cores-1).
+  std::vector<CoreId> placement;
+  /// Canonical (sorted, unique) link set, planar and vertical mixed.
+  std::vector<Link> links;
+
+  /// tile_of[core] — inverse of `placement`.
+  std::vector<TileId> tile_of_core() const;
+
+  /// Sorts and dedupes `links` into canonical form.
+  void canonicalize();
+
+  friend bool operator==(const NocDesign&, const NocDesign&) = default;
+};
+
+/// Adjacency view of a design's link set; built once per evaluation.
+class Adjacency {
+ public:
+  Adjacency(const PlatformSpec& spec, const std::vector<Link>& links);
+
+  /// Neighbors of tile t, ascending (deterministic routing depends on this).
+  const std::vector<TileId>& neighbors(TileId t) const { return adj_[t]; }
+  /// Router degree (= port count toward other routers).
+  std::size_t degree(TileId t) const { return adj_[t].size(); }
+  std::size_t num_tiles() const { return adj_.size(); }
+
+  /// True if every tile can reach every other tile.
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<TileId>> adj_;
+};
+
+/// Splits a design's links into planar / vertical subsets.
+struct LinkSplit {
+  std::vector<Link> planar;
+  std::vector<Link> vertical;
+};
+LinkSplit split_links(const PlatformSpec& spec, const std::vector<Link>& links);
+
+}  // namespace moela::noc

@@ -1,0 +1,21 @@
+// Undirected communication link between two tiles (routers).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace moela::noc {
+
+/// An undirected link; canonical form keeps a < b so links are directly
+/// comparable and sets of links can be kept sorted/unique.
+struct Link {
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+
+  Link() = default;
+  Link(std::uint16_t u, std::uint16_t v) : a(u < v ? u : v), b(u < v ? v : u) {}
+
+  friend auto operator<=>(const Link&, const Link&) = default;
+};
+
+}  // namespace moela::noc

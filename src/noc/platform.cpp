@@ -1,0 +1,142 @@
+#include "noc/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace moela::noc {
+
+const char* to_string(PeType type) {
+  switch (type) {
+    case PeType::kCpu:
+      return "CPU";
+    case PeType::kGpu:
+      return "GPU";
+    case PeType::kLlc:
+      return "LLC";
+  }
+  return "???";
+}
+
+PlatformSpec::PlatformSpec(int nx, int ny, int nz,
+                           std::vector<PeType> core_types,
+                           std::size_t num_planar_links,
+                           std::size_t num_vertical_links,
+                           int max_planar_length, int max_router_degree)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      core_types_(std::move(core_types)),
+      num_planar_links_(num_planar_links),
+      num_vertical_links_(num_vertical_links),
+      max_planar_length_(max_planar_length),
+      max_router_degree_(max_router_degree) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw std::invalid_argument("PlatformSpec: non-positive dimensions");
+  }
+  const auto tiles = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+                     static_cast<std::size_t>(nz);
+  if (core_types_.size() != tiles) {
+    throw std::invalid_argument(
+        "PlatformSpec: core count must equal tile count");
+  }
+
+  for (TileId t = 0; t < tiles; ++t) {
+    if (is_edge_tile(t)) edge_tiles_.push_back(t);
+  }
+  // Feasibility of the LLC-on-edge constraint per layer is checked by the
+  // design generator; here we only require enough edge tiles overall.
+  if (count_type(PeType::kLlc) > edge_tiles_.size()) {
+    throw std::invalid_argument(
+        "PlatformSpec: more LLCs than edge tiles available");
+  }
+
+  // Enumerate candidate links once; generators and repair operators draw
+  // from these pools.
+  for (TileId u = 0; u < tiles; ++u) {
+    for (TileId v = u + 1; v < tiles; ++v) {
+      if (z_of(u) == z_of(v)) {
+        const int len = planar_length(u, v);
+        if (len >= 1 && len <= max_planar_length_) {
+          planar_candidates_.emplace_back(u, v);
+        }
+      } else if (x_of(u) == x_of(v) && y_of(u) == y_of(v) &&
+                 std::abs(z_of(u) - z_of(v)) == 1) {
+        vertical_candidates_.emplace_back(u, v);
+      }
+    }
+  }
+  if (num_planar_links_ > planar_candidates_.size()) {
+    throw std::invalid_argument("PlatformSpec: planar budget > candidates");
+  }
+  if (num_vertical_links_ > vertical_candidates_.size()) {
+    throw std::invalid_argument("PlatformSpec: vertical budget > candidates");
+  }
+}
+
+std::size_t PlatformSpec::count_type(PeType type) const {
+  return static_cast<std::size_t>(
+      std::count(core_types_.begin(), core_types_.end(), type));
+}
+
+std::vector<CoreId> PlatformSpec::cores_of_type(PeType type) const {
+  std::vector<CoreId> out;
+  for (CoreId c = 0; c < core_types_.size(); ++c) {
+    if (core_types_[c] == type) out.push_back(c);
+  }
+  return out;
+}
+
+int PlatformSpec::planar_length(TileId a, TileId b) const {
+  return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+}
+
+bool PlatformSpec::is_edge_tile(TileId t) const {
+  const int x = x_of(t);
+  const int y = y_of(t);
+  return x == 0 || x == nx_ - 1 || y == 0 || y == ny_ - 1;
+}
+
+bool PlatformSpec::link_is_legal(const Link& link) const {
+  if (link.a == link.b || link.b >= num_tiles()) return false;
+  if (z_of(link.a) == z_of(link.b)) {
+    const int len = planar_length(link.a, link.b);
+    return len >= 1 && len <= max_planar_length_;
+  }
+  return x_of(link.a) == x_of(link.b) && y_of(link.a) == y_of(link.b) &&
+         std::abs(z_of(link.a) - z_of(link.b)) == 1;
+}
+
+std::string PlatformSpec::describe() const {
+  std::ostringstream os;
+  os << nx_ << "x" << ny_ << "x" << nz_ << " tiles ("
+     << count_type(PeType::kCpu) << " CPU, " << count_type(PeType::kGpu)
+     << " GPU, " << count_type(PeType::kLlc) << " LLC), "
+     << num_planar_links_ << " planar + " << num_vertical_links_
+     << " vertical links";
+  return os.str();
+}
+
+PlatformSpec PlatformSpec::paper_4x4x4() {
+  // 8 x86 CPUs, 40 Maxwell-class GPU cores, 16 LLC slices (Sec. V.A).
+  std::vector<PeType> cores;
+  cores.insert(cores.end(), 8, PeType::kCpu);
+  cores.insert(cores.end(), 40, PeType::kGpu);
+  cores.insert(cores.end(), 16, PeType::kLlc);
+  // 96 planar links = 3D-mesh-equivalent planar count for 4x4x4
+  // (4 layers x 2*4*3 = 24 mesh links per layer), 48 TSVs = every
+  // adjacent-layer tile pair (16 x 3).
+  return PlatformSpec(4, 4, 4, std::move(cores), 96, 48);
+}
+
+PlatformSpec PlatformSpec::small_3x3x3() {
+  std::vector<PeType> cores;
+  cores.insert(cores.end(), 4, PeType::kCpu);
+  cores.insert(cores.end(), 15, PeType::kGpu);
+  cores.insert(cores.end(), 8, PeType::kLlc);
+  // 3 layers x 2*3*2 = 36 mesh-equivalent planar links, 9 x 2 = 18 TSVs.
+  return PlatformSpec(3, 3, 3, std::move(cores), 36, 18);
+}
+
+}  // namespace moela::noc

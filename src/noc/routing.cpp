@@ -1,0 +1,60 @@
+#include "noc/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace moela::noc {
+
+RoutingTable::RoutingTable(const PlatformSpec& spec, const NocDesign& design)
+    : n_(spec.num_tiles()),
+      dist_(n_ * n_, -1),
+      parent_(n_ * n_, 0) {
+  const Adjacency adj(spec, design.links);
+  std::deque<TileId> queue;
+  for (TileId s = 0; s < n_; ++s) {
+    dist_[index(s, s)] = 0;
+    parent_[index(s, s)] = s;
+    queue.clear();
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const TileId u = queue.front();
+      queue.pop_front();
+      const int du = dist_[index(s, u)];
+      // Ascending neighbor order gives the deterministic tie-break.
+      for (TileId v : adj.neighbors(u)) {
+        if (dist_[index(s, v)] < 0) {
+          dist_[index(s, v)] = du + 1;
+          parent_[index(s, v)] = u;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+std::vector<TileId> RoutingTable::path(TileId s, TileId t) const {
+  if (dist_[index(s, t)] < 0) {
+    throw std::logic_error("RoutingTable::path: unreachable pair");
+  }
+  std::vector<TileId> out;
+  TileId cur = t;
+  while (cur != s) {
+    out.push_back(cur);
+    cur = parent_[index(s, cur)];
+  }
+  out.push_back(s);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t LinkIndex::of(TileId a, TileId b) const {
+  const Link key(a, b);
+  const auto it = std::lower_bound(links_->begin(), links_->end(), key);
+  if (it == links_->end() || !(*it == key)) {
+    throw std::logic_error("LinkIndex::of: link not in set");
+  }
+  return static_cast<std::size_t>(it - links_->begin());
+}
+
+}  // namespace moela::noc

@@ -1,0 +1,15 @@
+#include "noc/workload.hpp"
+
+namespace moela::noc {
+
+double TrafficMatrix::total() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+void TrafficMatrix::scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+}  // namespace moela::noc

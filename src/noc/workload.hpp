@@ -1,0 +1,50 @@
+// Application workload abstraction: the inputs the design problem consumes.
+//
+// From application profiling, the paper obtains (Sec. III) the communication
+// frequency f_ij between cores and the average power of each PE. In this
+// repository those come from the synthetic profiler in src/sim (the
+// gem5-gpu / GPGPU-Sim / McPAT / GPUWattch stand-in); the objective code here
+// only sees this structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moela::noc {
+
+/// Dense core-to-core communication-frequency matrix (flits per kilo-cycle).
+/// Indexed by CORE id, not tile: traffic follows the logical core when the
+/// placement moves it.
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  explicit TrafficMatrix(std::size_t num_cores)
+      : n_(num_cores), data_(num_cores * num_cores, 0.0) {}
+
+  std::size_t num_cores() const { return n_; }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * n_ + j];
+  }
+  double& operator()(std::size_t i, std::size_t j) { return data_[i * n_ + j]; }
+
+  /// Sum of all entries (total injected traffic).
+  double total() const;
+
+  /// Scales all entries by `factor`.
+  void scale(double factor);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Everything the objectives need to score a design for one application.
+struct Workload {
+  std::string name;
+  TrafficMatrix traffic;            // f_ij between cores
+  std::vector<double> core_power;   // average power per core, watts
+};
+
+}  // namespace moela::noc

@@ -1,0 +1,63 @@
+#include "problems/continuous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace moela::problems {
+
+namespace {
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+}  // namespace
+
+RealVector sbx_crossover(const RealVector& a, const RealVector& b,
+                         util::Rng& rng, double eta, double crossover_prob) {
+  RealVector child = a;
+  if (!rng.chance(crossover_prob)) return child;
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    if (!rng.chance(0.5)) {
+      child[i] = b[i];
+      continue;
+    }
+    const double u = rng.uniform();
+    const double beta =
+        u <= 0.5 ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                 : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+    child[i] = clamp01(0.5 * ((1.0 + beta) * a[i] + (1.0 - beta) * b[i]));
+  }
+  return child;
+}
+
+RealVector polynomial_mutation(const RealVector& x, util::Rng& rng,
+                               double eta) {
+  RealVector out = x;
+  const double gene_prob = 1.0 / static_cast<double>(std::max<std::size_t>(
+                                     1, out.size()));
+  for (auto& g : out) {
+    if (!rng.chance(gene_prob)) continue;
+    const double u = rng.uniform();
+    double delta;
+    if (u < 0.5) {
+      delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+    } else {
+      delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+    }
+    g = clamp01(g + delta);
+  }
+  return out;
+}
+
+RealVector coordinate_step(const RealVector& x, util::Rng& rng, double step) {
+  RealVector out = x;
+  if (out.empty()) return out;
+  const std::size_t i = rng.below(out.size());
+  out[i] = clamp01(out[i] + rng.uniform(-step, step));
+  return out;
+}
+
+RealVector random_unit_vector(std::size_t n, util::Rng& rng) {
+  RealVector v(n);
+  for (auto& g : v) g = rng.uniform();
+  return v;
+}
+
+}  // namespace moela::problems

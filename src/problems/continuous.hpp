@@ -1,0 +1,69 @@
+// Shared machinery for box-bounded continuous test problems ([0,1]^n genes):
+// SBX crossover, polynomial mutation, and single-coordinate neighbor moves.
+//
+// These standard real-coded operators (Deb & Agrawal 1995) give the analytic
+// DTLZ/ZDT problems the same operator structure the NoC problem has, so the
+// algorithm templates are exercised identically in tests and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "moo/objective.hpp"
+#include "util/rng.hpp"
+
+namespace moela::problems {
+
+using RealVector = std::vector<double>;
+
+/// Simulated binary crossover (SBX); returns one child. `eta` is the
+/// distribution index (larger = children closer to parents). Genes are
+/// clamped to [0, 1].
+RealVector sbx_crossover(const RealVector& a, const RealVector& b,
+                         util::Rng& rng, double eta = 15.0,
+                         double crossover_prob = 0.9);
+
+/// Polynomial mutation with per-gene probability 1/n. Clamped to [0, 1].
+RealVector polynomial_mutation(const RealVector& x, util::Rng& rng,
+                               double eta = 20.0);
+
+/// Perturbs one uniformly chosen coordinate by a step uniform in
+/// [-step, step], clamped to [0, 1] — the local-search move.
+RealVector coordinate_step(const RealVector& x, util::Rng& rng,
+                           double step = 0.1);
+
+/// Uniform random point in [0, 1]^n.
+RealVector random_unit_vector(std::size_t n, util::Rng& rng);
+
+/// CRTP-style base providing the operator plumbing of the MooProblem concept
+/// for continuous problems; derived classes implement evaluate() and
+/// num_objectives().
+class ContinuousProblemBase {
+ public:
+  using Design = RealVector;
+
+  explicit ContinuousProblemBase(std::size_t num_variables)
+      : num_variables_(num_variables) {}
+
+  std::size_t num_variables() const { return num_variables_; }
+
+  Design random_design(util::Rng& rng) const {
+    return random_unit_vector(num_variables_, rng);
+  }
+  Design random_neighbor(const Design& d, util::Rng& rng) const {
+    return coordinate_step(d, rng);
+  }
+  Design crossover(const Design& a, const Design& b, util::Rng& rng) const {
+    return sbx_crossover(a, b, rng);
+  }
+  Design mutate(const Design& d, util::Rng& rng) const {
+    return polynomial_mutation(d, rng);
+  }
+  std::vector<double> features(const Design& d) const { return d; }
+  std::size_t num_features() const { return num_variables_; }
+
+ private:
+  std::size_t num_variables_;
+};
+
+}  // namespace moela::problems

@@ -1,0 +1,110 @@
+#include "problems/dtlz.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace moela::problems {
+
+namespace {
+
+/// g function of DTLZ1: 100 * (k + sum((xi-0.5)^2 - cos(20 pi (xi-0.5)))).
+double g_dtlz1(const RealVector& x, std::size_t m) {
+  double g = 0.0;
+  const std::size_t k = x.size() - m + 1;
+  for (std::size_t i = m - 1; i < x.size(); ++i) {
+    const double t = x[i] - 0.5;
+    g += t * t - std::cos(20.0 * std::numbers::pi * t);
+  }
+  return 100.0 * (static_cast<double>(k) + g);
+}
+
+/// g function of DTLZ2: sum((xi - 0.5)^2).
+double g_dtlz2(const RealVector& x, std::size_t m) {
+  double g = 0.0;
+  for (std::size_t i = m - 1; i < x.size(); ++i) {
+    const double t = x[i] - 0.5;
+    g += t * t;
+  }
+  return g;
+}
+
+}  // namespace
+
+moo::ObjectiveVector Dtlz1::evaluate(const Design& x) const {
+  const double g = g_dtlz1(x, m_);
+  moo::ObjectiveVector f(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    double v = 0.5 * (1.0 + g);
+    for (std::size_t j = 0; j < m_ - 1 - i; ++j) v *= x[j];
+    if (i > 0) v *= 1.0 - x[m_ - 1 - i];
+    f[i] = v;
+  }
+  return f;
+}
+
+std::vector<moo::ObjectiveVector> Dtlz1::pareto_front_samples(
+    std::size_t n, util::Rng& rng) const {
+  // Uniform samples on the simplex sum(f) = 0.5 via normalized exponentials.
+  std::vector<moo::ObjectiveVector> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    moo::ObjectiveVector f(m_);
+    double total = 0.0;
+    for (auto& v : f) {
+      v = -std::log(1.0 - rng.uniform());
+      total += v;
+    }
+    for (auto& v : f) v = 0.5 * v / total;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+moo::ObjectiveVector Dtlz2::evaluate(const Design& x) const {
+  const double g = g_dtlz2(x, m_);
+  moo::ObjectiveVector f(m_);
+  constexpr double half_pi = std::numbers::pi / 2.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    double v = 1.0 + g;
+    for (std::size_t j = 0; j < m_ - 1 - i; ++j) v *= std::cos(x[j] * half_pi);
+    if (i > 0) v *= std::sin(x[m_ - 1 - i] * half_pi);
+    f[i] = v;
+  }
+  return f;
+}
+
+std::vector<moo::ObjectiveVector> Dtlz2::pareto_front_samples(
+    std::size_t n, util::Rng& rng) const {
+  // Uniform direction samples on the positive orthant of the unit sphere.
+  std::vector<moo::ObjectiveVector> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    moo::ObjectiveVector f(m_);
+    double norm = 0.0;
+    for (auto& v : f) {
+      v = std::abs(rng.normal());
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    for (auto& v : f) v /= norm;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+moo::ObjectiveVector Dtlz7::evaluate(const Design& x) const {
+  double g = 0.0;
+  for (std::size_t i = m_ - 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - m_ + 1);
+
+  moo::ObjectiveVector f(m_);
+  for (std::size_t i = 0; i + 1 < m_; ++i) f[i] = x[i];
+  double h = static_cast<double>(m_);
+  for (std::size_t i = 0; i + 1 < m_; ++i) {
+    h -= f[i] / (1.0 + g) * (1.0 + std::sin(3.0 * std::numbers::pi * f[i]));
+  }
+  f[m_ - 1] = (1.0 + g) * h;
+  return f;
+}
+
+}  // namespace moela::problems

@@ -1,0 +1,114 @@
+#include "problems/knapsack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace moela::problems {
+
+MultiObjectiveKnapsack::MultiObjectiveKnapsack(std::size_t num_items,
+                                               std::size_t num_objectives,
+                                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  weights_.resize(num_items);
+  for (auto& w : weights_) w = rng.uniform(10.0, 100.0);
+  profits_.assign(num_objectives, std::vector<double>(num_items));
+  for (auto& dim : profits_) {
+    for (auto& p : dim) p = rng.uniform(10.0, 100.0);
+  }
+  capacity_ =
+      0.5 * std::accumulate(weights_.begin(), weights_.end(), 0.0);
+
+  removal_order_.resize(num_items);
+  std::iota(removal_order_.begin(), removal_order_.end(), std::size_t{0});
+  std::vector<double> ratio(num_items, 0.0);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    double best = 0.0;
+    for (const auto& dim : profits_) best = std::max(best, dim[i]);
+    ratio[i] = best / weights_[i];
+  }
+  std::sort(removal_order_.begin(), removal_order_.end(),
+            [&](std::size_t a, std::size_t b) { return ratio[a] < ratio[b]; });
+}
+
+moo::ObjectiveVector MultiObjectiveKnapsack::evaluate(const Design& d) const {
+  moo::ObjectiveVector f(num_objectives(), 0.0);
+  for (std::size_t m = 0; m < profits_.size(); ++m) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (d[i]) total += profits_[m][i];
+    }
+    f[m] = -total;  // minimize the negated profit
+  }
+  return f;
+}
+
+MultiObjectiveKnapsack::Design MultiObjectiveKnapsack::random_design(
+    util::Rng& rng) const {
+  Design d(num_items());
+  for (auto& bit : d) bit = rng.chance(0.5) ? 1 : 0;
+  repair(d);
+  return d;
+}
+
+MultiObjectiveKnapsack::Design MultiObjectiveKnapsack::random_neighbor(
+    const Design& d, util::Rng& rng) const {
+  Design out = d;
+  const std::size_t i = rng.below(out.size());
+  out[i] ^= 1;
+  repair(out);
+  return out;
+}
+
+MultiObjectiveKnapsack::Design MultiObjectiveKnapsack::crossover(
+    const Design& a, const Design& b, util::Rng& rng) const {
+  Design child(a.size());
+  for (std::size_t i = 0; i < child.size(); ++i) {
+    child[i] = rng.chance(0.5) ? a[i] : b[i];
+  }
+  repair(child);
+  return child;
+}
+
+MultiObjectiveKnapsack::Design MultiObjectiveKnapsack::mutate(
+    const Design& d, util::Rng& rng) const {
+  Design out = d;
+  const double p = 1.0 / static_cast<double>(out.size());
+  for (auto& bit : out) {
+    if (rng.chance(p)) bit ^= 1;
+  }
+  repair(out);
+  return out;
+}
+
+std::vector<double> MultiObjectiveKnapsack::features(const Design& d) const {
+  std::vector<double> f(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    f[i] = static_cast<double>(d[i]);
+  }
+  return f;
+}
+
+bool MultiObjectiveKnapsack::feasible(const Design& d) const {
+  return total_weight(d) <= capacity_;
+}
+
+double MultiObjectiveKnapsack::total_weight(const Design& d) const {
+  double w = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d[i]) w += weights_[i];
+  }
+  return w;
+}
+
+void MultiObjectiveKnapsack::repair(Design& d) const {
+  double w = total_weight(d);
+  for (std::size_t i : removal_order_) {
+    if (w <= capacity_) break;
+    if (d[i]) {
+      d[i] = 0;
+      w -= weights_[i];
+    }
+  }
+}
+
+}  // namespace moela::problems

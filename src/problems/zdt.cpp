@@ -1,0 +1,66 @@
+#include "problems/zdt.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "moo/pareto.hpp"
+
+namespace moela::problems {
+
+moo::ObjectiveVector Zdt::evaluate(const Design& x) const {
+  const double f1 = x[0];
+  double g = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+  const double ratio = f1 / g;
+  double h = 0.0;
+  switch (variant_) {
+    case ZdtVariant::kZdt1:
+      h = 1.0 - std::sqrt(ratio);
+      break;
+    case ZdtVariant::kZdt2:
+      h = 1.0 - ratio * ratio;
+      break;
+    case ZdtVariant::kZdt3:
+      h = 1.0 - std::sqrt(ratio) -
+          ratio * std::sin(10.0 * std::numbers::pi * f1);
+      break;
+  }
+  return {f1, g * h};
+}
+
+double Zdt::front_f2(ZdtVariant variant, double f1) {
+  switch (variant) {
+    case ZdtVariant::kZdt1:
+      return 1.0 - std::sqrt(f1);
+    case ZdtVariant::kZdt2:
+      return 1.0 - f1 * f1;
+    case ZdtVariant::kZdt3:
+      return 1.0 - std::sqrt(f1) -
+             f1 * std::sin(10.0 * std::numbers::pi * f1);
+  }
+  return 0.0;
+}
+
+std::vector<moo::ObjectiveVector> Zdt::pareto_front_samples(
+    std::size_t n) const {
+  std::vector<moo::ObjectiveVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f1 =
+        n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 0.0;
+    out.push_back({f1, front_f2(variant_, f1)});
+  }
+  if (variant_ == ZdtVariant::kZdt3) {
+    // ZDT3's envelope is only partially Pareto-optimal; keep the
+    // non-dominated subset.
+    const auto keep = moo::pareto_filter(out);
+    std::vector<moo::ObjectiveVector> filtered;
+    filtered.reserve(keep.size());
+    for (std::size_t i : keep) filtered.push_back(out[i]);
+    return filtered;
+  }
+  return out;
+}
+
+}  // namespace moela::problems

@@ -1,0 +1,42 @@
+// ZDT bi-objective test problems (Zitzler, Deb, Thiele 2000). Compact,
+// cheap-to-evaluate 2-objective benchmarks with closed-form Pareto fronts —
+// the workhorses of the unit/property tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "moo/objective.hpp"
+#include "problems/continuous.hpp"
+
+namespace moela::problems {
+
+enum class ZdtVariant {
+  kZdt1,  // convex front: f2 = 1 - sqrt(f1)
+  kZdt2,  // concave front: f2 = 1 - f1^2
+  kZdt3,  // disconnected front
+};
+
+class Zdt : public ContinuousProblemBase {
+ public:
+  explicit Zdt(ZdtVariant variant, std::size_t num_variables = 30)
+      : ContinuousProblemBase(num_variables), variant_(variant) {}
+
+  std::size_t num_objectives() const { return 2; }
+  moo::ObjectiveVector evaluate(const Design& x) const;
+
+  ZdtVariant variant() const { return variant_; }
+
+  /// The true front value f2(f1) for points on the Pareto-optimal set
+  /// (g == 1). For ZDT3 this is the lower envelope formula; only parts of it
+  /// are actually Pareto-optimal.
+  static double front_f2(ZdtVariant variant, double f1);
+
+  /// `n` evenly spaced points on the true Pareto front.
+  std::vector<moo::ObjectiveVector> pareto_front_samples(std::size_t n) const;
+
+ private:
+  ZdtVariant variant_;
+};
+
+}  // namespace moela::problems

@@ -1,0 +1,48 @@
+#include "sim/edp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace moela::sim {
+
+EdpResult estimate_edp(const noc::PlatformSpec& spec,
+                       const noc::NocDesign& design,
+                       const noc::Workload& workload,
+                       const AppArchetype& arch,
+                       const noc::NocObjectiveParams& obj_params,
+                       const EdpModelParams& model) {
+  noc::EvaluationDetail detail;
+  const noc::NocObjectives obj =
+      noc::evaluate_objectives(spec, design, workload, obj_params, &detail);
+
+  // CPU-bound share: runtime grows linearly with average CPU-LLC latency.
+  const double cpu_stretch = 1.0 + obj.cpu_latency / model.latency_ref;
+
+  // GPU-bound share: contention factor 1 / (1 - rho) with rho derived from
+  // mean + weighted-sigma link utilization, saturating smoothly.
+  const double sigma = std::sqrt(obj.traffic_variance);
+  const double load = obj.traffic_mean + model.sigma_weight * sigma;
+  const double rho = std::min(load / model.link_capacity, 0.95);
+  const double gpu_stretch = 1.0 / (1.0 - rho);
+
+  const double exec_time =
+      model.base_runtime *
+      (arch.cpu_fraction * cpu_stretch + (1.0 - arch.cpu_fraction) * gpu_stretch);
+
+  // Energy: PE power integrated over runtime + communication energy.
+  const double pe_power = std::accumulate(workload.core_power.begin(),
+                                          workload.core_power.end(), 0.0);
+  const double comm_energy =
+      obj.energy * model.comm_energy_scale * exec_time / model.base_runtime;
+  const double energy = pe_power * exec_time + comm_energy;
+
+  EdpResult result;
+  result.exec_time = exec_time;
+  result.energy = energy;
+  result.edp = energy * exec_time;
+  result.peak_temperature = detail.peak_temperature;
+  return result;
+}
+
+}  // namespace moela::sim

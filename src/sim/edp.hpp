@@ -1,0 +1,57 @@
+// Analytical performance/energy model — the substitution for the paper's
+// final gem5-gpu EDP simulations (Fig. 3).
+//
+// The model converts a design's NoC figures into application execution time
+// and total energy:
+//  * the CPU-bound runtime share scales with the average CPU-LLC latency
+//    (objective 3) — CPUs stall on memory;
+//  * the GPU-bound share scales with NoC congestion, modeled from the mean
+//    and variance of link utilization (objectives 1-2) via an M/M/1-style
+//    contention factor — GPUs are throughput-limited;
+//  * energy = communication energy (objective 4, scaled per unit time) plus
+//    the integral of PE power over the execution time.
+// EDP = energy x delay. All algorithms are scored by the same model, so the
+// relative comparison the paper reports is preserved.
+#pragma once
+
+#include "noc/design.hpp"
+#include "noc/objectives.hpp"
+#include "noc/platform.hpp"
+#include "noc/workload.hpp"
+#include "sim/rodinia.hpp"
+
+namespace moela::sim {
+
+struct EdpModelParams {
+  /// Nominal kernel runtime at zero NoC overhead, seconds.
+  double base_runtime = 1.0;
+  /// Reference latency (Eq. 3 units) at which CPU stalls double runtime.
+  double latency_ref = 400.0;
+  /// Link capacity in the utilization units of the traffic matrix: the
+  /// mean+sigma utilization at which contention diverges.
+  double link_capacity = 60.0;
+  /// Weight of the variance term in the congestion estimate (hotspots hurt
+  /// more than average load).
+  double sigma_weight = 1.0;
+  /// Communication energy scale: joules per (Eq. 4 unit x second).
+  double comm_energy_scale = 1e-4;
+};
+
+struct EdpResult {
+  double exec_time = 0.0;   // seconds
+  double energy = 0.0;      // joules
+  double edp = 0.0;         // joule-seconds
+  double peak_temperature = 0.0;  // max T_n,k of the thermal model
+};
+
+/// Scores one design under one application. `arch.cpu_fraction` splits the
+/// nominal runtime into a CPU-latency-bound part and a GPU-throughput-bound
+/// part.
+EdpResult estimate_edp(const noc::PlatformSpec& spec,
+                       const noc::NocDesign& design,
+                       const noc::Workload& workload,
+                       const AppArchetype& arch,
+                       const noc::NocObjectiveParams& obj_params = {},
+                       const EdpModelParams& model = {});
+
+}  // namespace moela::sim

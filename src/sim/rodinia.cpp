@@ -1,0 +1,260 @@
+#include "sim/rodinia.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace moela::sim {
+
+const std::vector<RodiniaApp>& all_rodinia_apps() {
+  static const std::vector<RodiniaApp> apps = {
+      RodiniaApp::kBfs,          RodiniaApp::kBackprop,
+      RodiniaApp::kGaussian,     RodiniaApp::kHotspot3D,
+      RodiniaApp::kPathfinder,   RodiniaApp::kSrad,
+      RodiniaApp::kStreamcluster};
+  return apps;
+}
+
+std::string app_name(RodiniaApp app) {
+  switch (app) {
+    case RodiniaApp::kBackprop:
+      return "BP";
+    case RodiniaApp::kBfs:
+      return "BFS";
+    case RodiniaApp::kGaussian:
+      return "GAU";
+    case RodiniaApp::kHotspot3D:
+      return "HOT";
+    case RodiniaApp::kPathfinder:
+      return "PF";
+    case RodiniaApp::kStreamcluster:
+      return "SC";
+    case RodiniaApp::kSrad:
+      return "SRAD";
+  }
+  throw std::invalid_argument("app_name: unknown app");
+}
+
+AppArchetype archetype(RodiniaApp app) {
+  AppArchetype a;
+  switch (app) {
+    case RodiniaApp::kBackprop:
+      // Layered ML training: heavy GPU<->LLC for weights, real CPU phase
+      // for weight updates, moderate GPU sharing between layers.
+      a = {.cpu_llc = 2.0,
+           .gpu_llc = 3.0,
+           .gpu_gpu = 0.8,
+           .cpu_cpu = 0.10,
+           .llc_skew = 0.4,
+           .gpu_locality = 0.7,
+           .cpu_activity = 0.9,
+           .gpu_activity = 0.9,
+           .llc_activity = 0.8,
+           .cpu_fraction = 0.45};
+      break;
+    case RodiniaApp::kBfs:
+      // Irregular graph traversal: latency-bound, uniform (poor locality)
+      // LLC access, low compute activity, CPU-driven frontier.
+      a = {.cpu_llc = 3.5,
+           .gpu_llc = 2.0,
+           .gpu_gpu = 0.15,
+           .cpu_cpu = 0.20,
+           .llc_skew = 0.1,
+           .gpu_locality = 0.1,
+           .cpu_activity = 0.8,
+           .gpu_activity = 0.5,
+           .llc_activity = 1.0,
+           .cpu_fraction = 0.60};
+      break;
+    case RodiniaApp::kGaussian:
+      // Dense elimination: pivot-row broadcast creates strongly skewed
+      // (hotspot) LLC popularity and high GPU activity.
+      a = {.cpu_llc = 1.5,
+           .gpu_llc = 3.5,
+           .gpu_gpu = 0.5,
+           .cpu_cpu = 0.05,
+           .llc_skew = 1.2,
+           .gpu_locality = 0.4,
+           .cpu_activity = 0.7,
+           .gpu_activity = 1.1,
+           .llc_activity = 0.9,
+           .cpu_fraction = 0.30};
+      break;
+    case RodiniaApp::kHotspot3D:
+      // 3D stencil: strong neighbor sharing between GPUs, hot compute.
+      a = {.cpu_llc = 1.0,
+           .gpu_llc = 2.5,
+           .gpu_gpu = 1.5,
+           .cpu_cpu = 0.05,
+           .llc_skew = 0.3,
+           .gpu_locality = 0.9,
+           .cpu_activity = 0.6,
+           .gpu_activity = 1.2,
+           .llc_activity = 0.7,
+           .cpu_fraction = 0.20};
+      break;
+    case RodiniaApp::kPathfinder:
+      // Wavefront DP: row-to-row sharing, moderate memory traffic.
+      a = {.cpu_llc = 1.2,
+           .gpu_llc = 2.2,
+           .gpu_gpu = 1.0,
+           .cpu_cpu = 0.08,
+           .llc_skew = 0.5,
+           .gpu_locality = 0.8,
+           .cpu_activity = 0.7,
+           .gpu_activity = 0.9,
+           .llc_activity = 0.7,
+           .cpu_fraction = 0.35};
+      break;
+    case RodiniaApp::kStreamcluster:
+      // Streaming clustering: bandwidth-bound, every GPU streams from LLCs,
+      // little inter-GPU traffic, high LLC activity.
+      a = {.cpu_llc = 1.8,
+           .gpu_llc = 4.5,
+           .gpu_gpu = 0.10,
+           .cpu_cpu = 0.05,
+           .llc_skew = 0.2,
+           .gpu_locality = 0.2,
+           .cpu_activity = 0.8,
+           .gpu_activity = 1.0,
+           .llc_activity = 1.2,
+           .cpu_fraction = 0.40};
+      break;
+    case RodiniaApp::kSrad:
+      // Image stencil with reductions: streaming plus neighbor sharing and a
+      // CPU-visible reduction phase.
+      a = {.cpu_llc = 1.6,
+           .gpu_llc = 3.8,
+           .gpu_gpu = 0.9,
+           .cpu_cpu = 0.10,
+           .llc_skew = 0.3,
+           .gpu_locality = 0.8,
+           .cpu_activity = 0.8,
+           .gpu_activity = 1.1,
+           .llc_activity = 1.0,
+           .cpu_fraction = 0.30};
+      break;
+  }
+  return a;
+}
+
+namespace {
+
+/// Zipf-like popularity weights over `n` items with exponent `s`,
+/// normalized to mean 1.
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
+  }
+  for (auto& v : w) v *= static_cast<double>(n) / total;
+  return w;
+}
+
+}  // namespace
+
+noc::Workload make_workload(const noc::PlatformSpec& spec, RodiniaApp app,
+                            std::uint64_t seed, const PowerModel& power) {
+  return make_workload(spec, archetype(app), app_name(app), seed, power);
+}
+
+noc::Workload make_workload(const noc::PlatformSpec& spec,
+                            const AppArchetype& arch, const std::string& name,
+                            std::uint64_t seed, const PowerModel& power) {
+  util::Rng rng(seed ^ 0xa5a5a5a5ULL);
+  const auto cpus = spec.cores_of_type(noc::PeType::kCpu);
+  const auto gpus = spec.cores_of_type(noc::PeType::kGpu);
+  const auto llcs = spec.cores_of_type(noc::PeType::kLlc);
+
+  noc::Workload w;
+  w.name = name;
+  w.traffic = noc::TrafficMatrix(spec.num_cores());
+
+  // LLC popularity: Zipf-skewed, randomly permuted so the hot slice is not
+  // always core 0 (the permutation is part of the deterministic profile).
+  auto llc_pop = zipf_weights(llcs.size(), arch.llc_skew);
+  rng.shuffle(llc_pop);
+
+  // Jitter multiplies each pair weight by U(0.75, 1.25): models input-set
+  // variation without disturbing the archetype structure.
+  auto jitter = [&rng]() { return rng.uniform(0.75, 1.25); };
+
+  // CPU <-> LLC request/response traffic (requests j->llc, responses back).
+  for (auto c : cpus) {
+    for (std::size_t li = 0; li < llcs.size(); ++li) {
+      const double f = arch.cpu_llc * llc_pop[li] * jitter();
+      w.traffic(c, llcs[li]) += 0.4 * f;   // requests
+      w.traffic(llcs[li], c) += 0.6 * f;   // larger response payloads
+    }
+  }
+
+  // GPU <-> LLC streaming traffic.
+  for (auto g : gpus) {
+    for (std::size_t li = 0; li < llcs.size(); ++li) {
+      const double f = arch.gpu_llc * llc_pop[li] * jitter();
+      w.traffic(g, llcs[li]) += 0.3 * f;
+      w.traffic(llcs[li], g) += 0.7 * f;  // read-dominated streams
+    }
+  }
+
+  // GPU <-> GPU sharing. With locality, partners are adjacent in core-id
+  // order (stencil halos); without, partners are arbitrary.
+  if (!gpus.empty() && arch.gpu_gpu > 0.0) {
+    const std::size_t partners = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               2.0 + 4.0 * (1.0 - arch.gpu_locality))));
+    for (std::size_t gi = 0; gi < gpus.size(); ++gi) {
+      for (std::size_t p = 1; p <= partners; ++p) {
+        std::size_t pj;
+        if (rng.uniform() < arch.gpu_locality) {
+          pj = (gi + p) % gpus.size();  // neighbor in the logical ring
+        } else {
+          pj = rng.below(gpus.size());
+          if (pj == gi) pj = (pj + 1) % gpus.size();
+        }
+        const double f =
+            arch.gpu_gpu * jitter() / static_cast<double>(partners);
+        w.traffic(gpus[gi], gpus[pj]) += f;
+        w.traffic(gpus[pj], gpus[gi]) += f;
+      }
+    }
+  }
+
+  // CPU <-> CPU coherence chatter (all pairs, light).
+  for (auto c1 : cpus) {
+    for (auto c2 : cpus) {
+      if (c1 == c2) continue;
+      w.traffic(c1, c2) += arch.cpu_cpu * jitter() /
+                           static_cast<double>(cpus.size());
+    }
+  }
+
+  // Average power per core (McPAT/GPUWattch stand-in): class base power
+  // times the application activity factor, with small per-core variation
+  // (process/DVFS spread).
+  w.core_power.assign(spec.num_cores(), 0.0);
+  for (noc::CoreId c = 0; c < spec.num_cores(); ++c) {
+    double base = 0.0, act = 1.0;
+    switch (spec.core_type(c)) {
+      case noc::PeType::kCpu:
+        base = power.cpu_watts;
+        act = arch.cpu_activity;
+        break;
+      case noc::PeType::kGpu:
+        base = power.gpu_watts;
+        act = arch.gpu_activity;
+        break;
+      case noc::PeType::kLlc:
+        base = power.llc_watts;
+        act = arch.llc_activity;
+        break;
+    }
+    w.core_power[c] = base * act * rng.uniform(0.9, 1.1);
+  }
+  return w;
+}
+
+}  // namespace moela::sim

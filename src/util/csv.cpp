@@ -1,0 +1,42 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace moela::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), width_(header.size()) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  if (values.size() != width_) {
+    throw std::invalid_argument("CsvWriter row width mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& values) {
+  if (values.size() != width_) {
+    throw std::invalid_argument("CsvWriter row width mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace moela::util

@@ -1,0 +1,31 @@
+// CSV writing for experiment traces (convergence curves, per-run metrics).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace moela::util {
+
+/// Appends rows of doubles to a CSV file with a fixed header. Used by the
+/// experiment harness to dump PHV-vs-evaluations traces for plotting.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// True if the file opened successfully.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& values);
+
+  /// Flushes buffered rows to disk.
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace moela::util

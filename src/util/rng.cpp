@@ -1,0 +1,33 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace moela::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  if (k == 0) return {};
+  // For small k relative to n, Floyd's algorithm avoids materializing [0, n).
+  if (k * 4 <= n) {
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = below(j + 1);
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      } else {
+        out.push_back(j);
+      }
+    }
+    shuffle(out);
+    return out;
+  }
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace moela::util

@@ -1,0 +1,59 @@
+// Small statistics helpers shared by objective evaluation, metrics reporting,
+// and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace moela::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Numerically
+/// stable for long accumulations; used for link-utilization statistics and
+/// benchmark aggregation.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n), matching Eq. (2) of the paper.
+  double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (divide by n-1).
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+/// Population variance (divide by n), matching Eq. (2).
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: needs to sort
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace moela::util

@@ -1,0 +1,107 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace moela::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty()) {
+    throw std::logic_error("Table::set_header after rows were added");
+  }
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("Table row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(fmt(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << ' ' << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "### " << title_ << "\n";
+  if (!header_.empty()) {
+    os << render_row(header_);
+    os << '|';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '|';
+    os << '\n';
+  }
+  for (const auto& r : rows_) os << render_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_factor(double v, int precision) {
+  return fmt(v, precision) + "x";
+}
+
+std::string fmt_percent(double v, int precision) {
+  return fmt(v * 100.0, precision) + "%";
+}
+
+}  // namespace moela::util

@@ -1,0 +1,26 @@
+// Wall-clock timing for the experiment harness (speed-up factors are reported
+// in evaluation counts, but traces also record wall time).
+#pragma once
+
+#include <chrono>
+
+namespace moela::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace moela::util

@@ -1,0 +1,268 @@
+// Algorithm-level tests on analytic problems with known Pareto fronts
+// (cheap evaluations, verifiable outcomes).
+#include <gtest/gtest.h>
+
+#include "baselines/moead.hpp"
+#include "baselines/moo_stage.hpp"
+#include "baselines/moos.hpp"
+#include "baselines/nsga2.hpp"
+#include "core/eval_context.hpp"
+#include "core/local_search.hpp"
+#include "core/moela.hpp"
+#include "moo/hypervolume.hpp"
+#include "moo/metrics.hpp"
+#include "moo/pareto.hpp"
+#include "problems/dtlz.hpp"
+#include "problems/zdt.hpp"
+
+namespace moela {
+namespace {
+
+using problems::Dtlz2;
+using problems::Zdt;
+using problems::ZdtVariant;
+
+/// PHV of a front against a fixed box (ZDT objectives live in [0,1]x[0,10]).
+double fixed_phv(const std::vector<moo::ObjectiveVector>& front) {
+  return moo::hypervolume(front, moo::ObjectiveVector(front[0].size(), 11.0));
+}
+
+/// PHV reached by pure random sampling with the same budget — the floor any
+/// real algorithm must beat.
+template <typename P>
+double random_search_phv(const P& problem, std::size_t budget,
+                         std::uint64_t seed) {
+  core::EvalContext<P> ctx(problem, seed, budget);
+  while (!ctx.exhausted()) {
+    ctx.evaluate(problem.random_design(ctx.rng()));
+  }
+  return fixed_phv(ctx.archive().objective_set());
+}
+
+core::MoelaConfig small_moela_config() {
+  core::MoelaConfig c;
+  c.population_size = 20;
+  c.n_local = 3;
+  c.neighborhood_size = 6;
+  c.train_capacity = 1500;
+  c.forest.num_trees = 8;
+  c.forest.max_depth = 8;
+  c.local_search.max_steps = 15;
+  c.local_search.patience = 6;
+  c.local_search.max_evaluations = 50;
+  return c;
+}
+
+TEST(Moela, BeatsRandomSearchOnZdt1) {
+  Zdt problem(ZdtVariant::kZdt1, 12);
+  core::EvalContext<Zdt> ctx(problem, 1, 4000);
+  core::Moela<Zdt> algo(small_moela_config());
+  algo.run(ctx);
+  const double moela_phv = fixed_phv(ctx.archive().objective_set());
+  const double random_phv = random_search_phv(problem, 4000, 1);
+  EXPECT_GT(moela_phv, random_phv);
+}
+
+TEST(Moela, RespectsEvaluationBudget) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  core::EvalContext<Zdt> ctx(problem, 2, 500);
+  core::Moela<Zdt> algo(small_moela_config());
+  algo.run(ctx);
+  // Budget may be exceeded only by the in-flight batch of one step.
+  EXPECT_LE(ctx.evaluations(), 505u);
+  EXPECT_GE(ctx.evaluations(), 500u);
+}
+
+TEST(Moela, DeterministicGivenSeed) {
+  Zdt problem(ZdtVariant::kZdt2, 10);
+  auto run_once = [&](std::uint64_t seed) {
+    core::EvalContext<Zdt> ctx(problem, seed, 1200);
+    core::Moela<Zdt> algo(small_moela_config());
+    algo.run(ctx);
+    return ctx.archive().objective_set();
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(Moela, PopulationConvergesTowardZdt1Front) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  core::EvalContext<Zdt> ctx(problem, 3, 6000);
+  core::Moela<Zdt> algo(small_moela_config());
+  algo.run(ctx);
+  const auto front = problem.pareto_front_samples(100);
+  const double d = moo::igd(ctx.archive().objective_set(), front);
+  EXPECT_LT(d, 0.6);  // random sampling alone gives IGD well above 1
+}
+
+TEST(Moela, AblationVariantsRun) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  for (int variant = 0; variant < 3; ++variant) {
+    core::MoelaConfig c = small_moela_config();
+    if (variant == 0) c.use_ml_guide = false;
+    if (variant == 1) c.use_local_search = false;
+    if (variant == 2) c.use_ea = false;
+    core::EvalContext<Zdt> ctx(problem, 4, 800);
+    core::Moela<Zdt> algo(c);
+    const auto pop = algo.run(ctx);
+    EXPECT_EQ(pop.size(), c.population_size);
+    EXPECT_GE(ctx.evaluations(), 700u);
+  }
+}
+
+TEST(LocalSearch, ImprovesScalarizedValue) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  core::EvalContext<Zdt> ctx(problem, 5, 2000);
+  auto start = problem.random_design(ctx.rng());
+  auto start_obj = ctx.evaluate(start);
+  const moo::WeightVector w{0.5, 0.5};
+  const moo::ObjectiveVector z{0.0, 0.0};
+  const moo::ObjectiveVector scale{1.0, 1.0};
+  const double g0 = moo::weighted_distance_scaled(start_obj, w, z, scale);
+  const auto result = core::local_search(ctx, start, start_obj, w, z, scale);
+  EXPECT_LE(result.best_g, g0);
+  EXPECT_EQ(result.trajectory.size(), result.steps_taken + 1);
+  // The result's objectives must be consistent with its reported g.
+  EXPECT_NEAR(
+      moo::weighted_distance_scaled(result.best_objectives, w, z, scale),
+      result.best_g, 1e-12);
+}
+
+TEST(LocalSearch, StopsAtBudget) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  core::EvalContext<Zdt> ctx(problem, 6, 20);
+  auto start = problem.random_design(ctx.rng());
+  auto start_obj = ctx.evaluate(start);
+  core::local_search(ctx, start, start_obj, {0.5, 0.5}, {0.0, 0.0},
+                     {1.0, 1.0});
+  EXPECT_LE(ctx.evaluations(), 21u);
+}
+
+TEST(MoeaD, BeatsRandomSearchOnZdt1) {
+  Zdt problem(ZdtVariant::kZdt1, 12);
+  core::EvalContext<Zdt> ctx(problem, 7, 4000);
+  baselines::MoeaDConfig c;
+  c.population_size = 20;
+  c.neighborhood_size = 6;
+  baselines::MoeaD<Zdt> algo(c);
+  const auto pop = algo.run(ctx);
+  EXPECT_EQ(pop.size(), 20u);
+  EXPECT_GT(fixed_phv(ctx.archive().objective_set()),
+            random_search_phv(problem, 4000, 7));
+}
+
+TEST(MoeaD, ReferencePointIsComponentMinimum) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  core::EvalContext<Zdt> ctx(problem, 8, 1000);
+  baselines::MoeaDConfig c;
+  c.population_size = 15;
+  baselines::MoeaD<Zdt> algo(c);
+  const auto pop = algo.run(ctx);
+  const auto& z = pop.reference_point();
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    for (std::size_t k = 0; k < z.size(); ++k) {
+      EXPECT_LE(z[k], pop.objectives(i)[k] + 1e-12);
+    }
+  }
+}
+
+TEST(Moos, RunsAndProducesNonDominatedArchive) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  core::EvalContext<Zdt> ctx(problem, 9, 2500);
+  baselines::MoosConfig c;
+  c.archive_capacity = 20;
+  c.initial_designs = 20;
+  c.num_directions = 20;
+  c.searches_per_iteration = 3;
+  c.search.max_steps = 10;
+  c.search.patience = 5;
+  c.search.max_evaluations = 40;
+  baselines::Moos<Zdt> algo(c);
+  const auto archive = algo.run(ctx);
+  EXPECT_FALSE(archive.empty());
+  const auto points = archive.objective_set();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j) EXPECT_FALSE(moo::dominates(points[i], points[j]));
+    }
+  }
+  EXPECT_GT(fixed_phv(ctx.archive().objective_set()),
+            random_search_phv(problem, 2500, 9) * 0.9);
+}
+
+TEST(MooStage, RunsAndLearns) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  core::EvalContext<Zdt> ctx(problem, 10, 2500);
+  baselines::MooStageConfig c;
+  c.archive_capacity = 20;
+  c.initial_designs = 20;
+  c.searches_per_iteration = 3;
+  c.search.max_steps = 10;
+  c.search.neighbors_per_step = 4;
+  c.forest.num_trees = 6;
+  c.forest.max_depth = 6;
+  baselines::MooStage<Zdt> algo(c);
+  const auto archive = algo.run(ctx);
+  EXPECT_FALSE(archive.empty());
+  EXPECT_GE(ctx.evaluations(), 2000u);
+}
+
+TEST(Nsga2, BeatsRandomSearchOnZdt3) {
+  Zdt problem(ZdtVariant::kZdt3, 12);
+  core::EvalContext<Zdt> ctx(problem, 11, 4000);
+  baselines::Nsga2Config c;
+  c.population_size = 24;
+  baselines::Nsga2<Zdt> algo(c);
+  const auto pop = algo.run(ctx);
+  EXPECT_EQ(pop.size(), 24u);
+  EXPECT_GT(fixed_phv(ctx.archive().objective_set()),
+            random_search_phv(problem, 4000, 11));
+}
+
+TEST(DesignArchive, PhvGainPositiveForImprovingPoint) {
+  baselines::DesignArchive<Zdt> archive(10);
+  archive.insert({0.5}, {0.5, 0.5});
+  archive.insert({0.9}, {0.9, 0.1});
+  EXPECT_GT(archive.phv_gain({0.1, 0.9}), 0.0);   // extends the front
+  EXPECT_LE(archive.phv_gain({0.9, 0.9}), 1e-12);  // dominated: no gain
+}
+
+TEST(DesignArchive, CapacityBound) {
+  baselines::DesignArchive<Zdt> archive(5);
+  util::Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const double f1 = rng.uniform();
+    archive.insert({f1}, {f1, 1.0 - f1});
+  }
+  EXPECT_LE(archive.size(), 5u);
+}
+
+// All five algorithms must handle 3, 4, and 5 objectives (DTLZ2 scales).
+class ObjectiveCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ObjectiveCountSweep, MoelaHandlesManyObjectives) {
+  const std::size_t m = GetParam();
+  Dtlz2 problem(m, 6);
+  core::EvalContext<Dtlz2> ctx(problem, 13, 1500);
+  core::Moela<Dtlz2> algo(small_moela_config());
+  const auto pop = algo.run(ctx);
+  EXPECT_EQ(pop.objectives(0).size(), m);
+  EXPECT_GE(ctx.evaluations(), 1400u);
+}
+
+TEST_P(ObjectiveCountSweep, MoeaDHandlesManyObjectives) {
+  const std::size_t m = GetParam();
+  Dtlz2 problem(m, 6);
+  core::EvalContext<Dtlz2> ctx(problem, 14, 1500);
+  baselines::MoeaDConfig c;
+  c.population_size = 20;
+  baselines::MoeaD<Dtlz2> algo(c);
+  const auto pop = algo.run(ctx);
+  EXPECT_EQ(pop.size(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, ObjectiveCountSweep,
+                         ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace moela

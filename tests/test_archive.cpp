@@ -1,0 +1,92 @@
+#include "moo/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moo/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace moela::moo {
+namespace {
+
+TEST(ParetoArchive, AcceptsFirstPoint) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({1.0, 2.0}, 0));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ParetoArchive, RejectsDominatedAndEqual) {
+  ParetoArchive a;
+  a.insert({1.0, 1.0}, 0);
+  EXPECT_FALSE(a.insert({2.0, 2.0}, 1));  // dominated
+  EXPECT_FALSE(a.insert({1.0, 1.0}, 2));  // duplicate
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(ParetoArchive, RemovesNewlyDominated) {
+  ParetoArchive a;
+  a.insert({2.0, 2.0}, 0);
+  a.insert({3.0, 1.0}, 1);
+  EXPECT_TRUE(a.insert({1.0, 1.0}, 2));  // dominates both
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.entries()[0].id, 2u);
+}
+
+TEST(ParetoArchive, KeepsIncomparablePoints) {
+  ParetoArchive a;
+  EXPECT_TRUE(a.insert({1.0, 3.0}, 0));
+  EXPECT_TRUE(a.insert({3.0, 1.0}, 1));
+  EXPECT_TRUE(a.insert({2.0, 2.0}, 2));
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ParetoArchive, WouldAcceptMirrorsInsert) {
+  ParetoArchive a;
+  a.insert({1.0, 1.0}, 0);
+  EXPECT_FALSE(a.would_accept({1.5, 1.5}));
+  EXPECT_TRUE(a.would_accept({0.5, 2.0}));
+  EXPECT_EQ(a.size(), 1u);  // would_accept must not mutate
+}
+
+TEST(ParetoArchive, CapacityEvictsMostCrowded) {
+  ParetoArchive a(3);
+  a.insert({0.0, 10.0}, 0);
+  a.insert({10.0, 0.0}, 1);
+  a.insert({5.0, 5.0}, 2);
+  // 4th point lands close to (5,5): one of the crowded middles is evicted,
+  // boundary points survive.
+  a.insert({4.9, 5.2}, 3);
+  EXPECT_EQ(a.size(), 3u);
+  bool has0 = false, has1 = false;
+  for (const auto& e : a.entries()) {
+    if (e.id == 0) has0 = true;
+    if (e.id == 1) has1 = true;
+  }
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has1);
+}
+
+TEST(ParetoArchive, ContentAlwaysMutuallyNonDominated) {
+  util::Rng rng(3);
+  ParetoArchive a(20);
+  for (int i = 0; i < 500; ++i) {
+    a.insert({rng.uniform(), rng.uniform(), rng.uniform()}, i);
+  }
+  const auto points = a.objective_set();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(points[i], points[j]));
+    }
+  }
+  EXPECT_LE(a.size(), 20u);
+}
+
+TEST(ParetoArchive, ClearEmpties) {
+  ParetoArchive a;
+  a.insert({1.0}, 0);
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+}  // namespace
+}  // namespace moela::moo

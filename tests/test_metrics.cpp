@@ -1,0 +1,116 @@
+#include "moo/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace moela::moo {
+namespace {
+
+TEST(Igd, ZeroWhenApproxCoversFront) {
+  const std::vector<ObjectiveVector> front{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(igd(front, front), 0.0);
+}
+
+TEST(Igd, KnownDistance) {
+  const std::vector<ObjectiveVector> front{{0.0, 0.0}};
+  const std::vector<ObjectiveVector> approx{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(igd(approx, front), 5.0);
+}
+
+TEST(Igd, EmptyApproxIsInfinite) {
+  const std::vector<ObjectiveVector> front{{0.0, 0.0}};
+  EXPECT_TRUE(std::isinf(igd({}, front)));
+}
+
+TEST(Igd, ImprovesWithCloserApproximation) {
+  const std::vector<ObjectiveVector> front{{0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}};
+  const std::vector<ObjectiveVector> far{{2.0, 2.0}};
+  const std::vector<ObjectiveVector> near{{0.6, 0.6}};
+  EXPECT_LT(igd(near, front), igd(far, front));
+}
+
+ConvergenceTrace make_trace(std::initializer_list<double> phvs,
+                            std::size_t step = 100) {
+  ConvergenceTrace t;
+  std::size_t e = step;
+  for (double p : phvs) {
+    t.push_back({e, 0.0, p});
+    e += step;
+  }
+  return t;
+}
+
+TEST(ConvergenceIndex, DetectsPlateau) {
+  // Rises then flattens at index 3.
+  const auto trace =
+      make_trace({0.1, 0.3, 0.5, 0.7, 0.701, 0.702, 0.702, 0.703, 0.703});
+  const auto idx = convergence_index(trace);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 3u);
+}
+
+TEST(ConvergenceIndex, NeverSettlesFallsBackToEnd) {
+  // Keeps improving by 10% each step; window never fits.
+  ConvergenceTrace trace;
+  double phv = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back({static_cast<std::size_t>(100 * (i + 1)), 0.0, phv});
+    phv *= 1.1;
+  }
+  const auto idx = convergence_index(trace);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, trace.size() - 1);
+}
+
+TEST(ConvergenceIndex, EmptyTraceIsNull) {
+  EXPECT_FALSE(convergence_index({}).has_value());
+}
+
+TEST(EvaluationsToReach, InterpolatesBetweenSamples) {
+  const auto trace = make_trace({0.0, 1.0});  // evals 100, 200
+  const auto e = evaluations_to_reach(trace, 0.5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_NEAR(*e, 150.0, 1e-9);
+}
+
+TEST(EvaluationsToReach, TargetNeverReachedIsNull) {
+  const auto trace = make_trace({0.1, 0.2, 0.3});
+  EXPECT_FALSE(evaluations_to_reach(trace, 0.9).has_value());
+}
+
+TEST(EvaluationsToReach, FirstSampleAlreadyReaches) {
+  const auto trace = make_trace({0.8, 0.9});
+  const auto e = evaluations_to_reach(trace, 0.5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(*e, 100.0);
+}
+
+TEST(SpeedupFactor, FasterAlgorithmScoresAboveOne) {
+  // "other" converges to 0.7 at eval 800; "ours" reaches 0.7 at ~eval 300.
+  const auto other =
+      make_trace({0.1, 0.3, 0.5, 0.6, 0.65, 0.7, 0.701, 0.701, 0.701, 0.701,
+                  0.701, 0.701});
+  const auto ours = make_trace({0.2, 0.5, 0.7, 0.8, 0.85});
+  const auto s = speedup_factor(ours, other);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(*s, 1.0);
+}
+
+TEST(SpeedupFactor, NullWhenOursNeverReaches) {
+  const auto other = make_trace({0.5, 0.9, 0.901, 0.901, 0.901, 0.901, 0.901,
+                                 0.901});
+  const auto ours = make_trace({0.1, 0.2, 0.3});
+  EXPECT_FALSE(speedup_factor(ours, other).has_value());
+}
+
+TEST(SpeedupFactor, SymmetricBaselineIsAboutOne) {
+  const auto t = make_trace({0.1, 0.4, 0.6, 0.7, 0.702, 0.703, 0.703, 0.703,
+                             0.703, 0.703});
+  const auto s = speedup_factor(t, t);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 1.0, 0.35);  // interpolation can shift slightly
+}
+
+}  // namespace
+}  // namespace moela::moo

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace moela::ml {
+namespace {
+
+TEST(Dataset, StoresAndRetrieves) {
+  Dataset d(2);
+  d.add({1.0, 2.0}, 3.0);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.features(0)[0], 1.0);
+  EXPECT_EQ(d.target(0), 3.0);
+}
+
+TEST(Dataset, WidthMismatchThrows) {
+  Dataset d(3);
+  EXPECT_THROW(d.add({1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Dataset, SlidingWindowEvictsOldest) {
+  Dataset d(1, 3);
+  for (int i = 0; i < 5; ++i) {
+    d.add({static_cast<double>(i)}, static_cast<double>(i));
+  }
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.target(0), 2.0);  // 0 and 1 evicted
+  EXPECT_EQ(d.target(2), 4.0);
+}
+
+Dataset make_linear_dataset(std::size_t n, util::Rng& rng) {
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    d.add({x0, x1}, 2.0 * x0 - 3.0 * x1 + 1.0);
+  }
+  return d;
+}
+
+TEST(DecisionTree, FitsConstantTarget) {
+  Dataset d(1);
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 7.0);
+  util::Rng rng(1);
+  DecisionTree tree;
+  tree.fit(d, {}, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{5.0}), 7.0);
+  EXPECT_EQ(tree.node_count(), 1u);  // constant target -> single leaf
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x = i / 50.0;
+    d.add({x}, x < 0.5 ? 0.0 : 1.0);
+  }
+  util::Rng rng(2);
+  DecisionTree tree;
+  tree.fit(d, {}, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.2}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.8}), 1.0, 1e-9);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  util::Rng rng(3);
+  Dataset d = make_linear_dataset(200, rng);
+  TreeConfig config;
+  config.max_depth = 3;
+  DecisionTree tree;
+  tree.fit(d, config, rng);
+  EXPECT_LE(tree.depth(), 4u);  // depth counts nodes; root at depth 1
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, EmptyFitThrows) {
+  Dataset d(1);
+  util::Rng rng(4);
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(d, {}, rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, ReducesErrorVsMeanPredictor) {
+  util::Rng rng(5);
+  Dataset d = make_linear_dataset(300, rng);
+  DecisionTree tree;
+  tree.fit(d, {}, rng);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) mean += d.target(i);
+  mean /= static_cast<double>(d.size());
+  double tree_err = 0.0, mean_err = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double p = tree.predict(d.features(i));
+    tree_err += (p - d.target(i)) * (p - d.target(i));
+    mean_err += (mean - d.target(i)) * (mean - d.target(i));
+  }
+  EXPECT_LT(tree_err, 0.2 * mean_err);
+}
+
+TEST(RandomForest, FitsLinearFunctionWell) {
+  util::Rng rng(6);
+  Dataset d = make_linear_dataset(500, rng);
+  ForestConfig config;
+  config.num_trees = 20;
+  RandomForest forest(config);
+  forest.fit(d, rng);
+  EXPECT_GT(RandomForest::r_squared(forest, d), 0.9);
+}
+
+TEST(RandomForest, GeneralizesOnHeldOut) {
+  util::Rng rng(7);
+  Dataset train = make_linear_dataset(800, rng);
+  ForestConfig config;
+  config.num_trees = 24;
+  RandomForest forest(config);
+  forest.fit(train, rng);
+  // Held-out points from the same function.
+  double err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    const double y = 2.0 * x0 - 3.0 * x1 + 1.0;
+    const double p = forest.predict(std::vector<double>{x0, x1});
+    err += (p - y) * (p - y);
+  }
+  EXPECT_LT(err / 100.0, 0.05);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  util::Rng rng1(8), rng2(8);
+  Dataset d = make_linear_dataset(200, rng1);
+  util::Rng fit1(99), fit2(99);
+  RandomForest f1, f2;
+  f1.fit(d, fit1);
+  f2.fit(d, fit2);
+  util::Rng probe(100);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{probe.uniform(), probe.uniform()};
+    EXPECT_DOUBLE_EQ(f1.predict(x), f2.predict(x));
+  }
+}
+
+TEST(RandomForest, EmptyDatasetThrows) {
+  Dataset d(2);
+  util::Rng rng(9);
+  RandomForest f;
+  EXPECT_THROW(f.fit(d, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest f;
+  EXPECT_THROW(f.predict(std::vector<double>{1.0, 2.0}), std::logic_error);
+}
+
+TEST(RandomForest, RSquaredPerfectOnConstant) {
+  Dataset d(1);
+  for (int i = 0; i < 30; ++i) d.add({static_cast<double>(i)}, 5.0);
+  util::Rng rng(10);
+  RandomForest f;
+  f.fit(d, rng);
+  EXPECT_DOUBLE_EQ(RandomForest::r_squared(f, d), 1.0);
+}
+
+// Property sweep: the forest must beat the mean predictor on a variety of
+// nonlinear targets (the Eval function's job is exactly this kind of
+// regression).
+class ForestTargetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestTargetSweep, BeatsMeanPredictor) {
+  const int kind = GetParam();
+  util::Rng rng(50 + kind);
+  Dataset d(3);
+  for (int i = 0; i < 400; ++i) {
+    const double x0 = rng.uniform(), x1 = rng.uniform(), x2 = rng.uniform();
+    double y = 0.0;
+    switch (kind) {
+      case 0: y = x0 * x1; break;
+      case 1: y = std::sin(6.28 * x0) + x2; break;
+      case 2: y = (x0 > 0.5 ? 1.0 : 0.0) * (x1 > 0.5 ? 1.0 : 0.0); break;
+      case 3: y = std::abs(x0 - x1) + 0.1 * x2; break;
+    }
+    d.add({x0, x1, x2}, y);
+  }
+  ForestConfig config;
+  config.num_trees = 16;
+  RandomForest forest(config);
+  forest.fit(d, rng);
+  EXPECT_GT(RandomForest::r_squared(forest, d), 0.5) << "kind=" << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ForestTargetSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace moela::ml

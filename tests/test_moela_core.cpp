@@ -1,0 +1,251 @@
+// Component-level tests for MOELA's building blocks: the decomposition
+// population, the Eval model, the context bookkeeping, and the guide modes.
+#include <gtest/gtest.h>
+
+#include "core/decomposition.hpp"
+#include "core/eval_context.hpp"
+#include "core/eval_model.hpp"
+#include "core/moela.hpp"
+#include "problems/zdt.hpp"
+#include "util/rng.hpp"
+
+namespace moela::core {
+namespace {
+
+using problems::Zdt;
+using problems::ZdtVariant;
+
+TEST(EvalContext, CountsEvaluationsAndBudget) {
+  Zdt problem(ZdtVariant::kZdt1, 6);
+  EvalContext<Zdt> ctx(problem, 1, 10);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(ctx.exhausted());
+    ctx.evaluate(problem.random_design(ctx.rng()));
+  }
+  EXPECT_TRUE(ctx.exhausted());
+  EXPECT_EQ(ctx.evaluations(), 10u);
+}
+
+TEST(EvalContext, WallClockBudgetBinds) {
+  Zdt problem(ZdtVariant::kZdt1, 6);
+  // 0-second wall budget: exhausted as soon as the timer ticks.
+  EvalContext<Zdt> ctx(problem, 1, 1000000, 0, 1e-9);
+  ctx.evaluate(problem.random_design(ctx.rng()));
+  EXPECT_TRUE(ctx.exhausted());
+  EXPECT_LT(ctx.evaluations(), 1000000u);
+}
+
+TEST(EvalContext, SnapshotsFollowCadence) {
+  Zdt problem(ZdtVariant::kZdt1, 6);
+  EvalContext<Zdt> ctx(problem, 2, 100, /*snapshot_interval=*/25);
+  while (!ctx.exhausted()) {
+    ctx.evaluate(problem.random_design(ctx.rng()));
+  }
+  ctx.take_snapshot();
+  ASSERT_GE(ctx.snapshots().size(), 4u);
+  for (std::size_t i = 1; i < ctx.snapshots().size(); ++i) {
+    EXPECT_GT(ctx.snapshots()[i].evaluations,
+              ctx.snapshots()[i - 1].evaluations);
+  }
+}
+
+TEST(EvalContext, SolutionSetProviderDrivesSnapshots) {
+  Zdt problem(ZdtVariant::kZdt1, 6);
+  EvalContext<Zdt> ctx(problem, 3, 50);
+  const std::vector<moo::ObjectiveVector> fixed{{0.25, 0.25}};
+  ctx.set_solution_set_provider([&] { return fixed; });
+  ctx.evaluate(problem.random_design(ctx.rng()));
+  ctx.take_snapshot();
+  ASSERT_FALSE(ctx.snapshots().empty());
+  EXPECT_EQ(ctx.snapshots().back().front, fixed);
+  // Clearing the provider falls back to the archive front.
+  ctx.set_solution_set_provider(nullptr);
+  ctx.take_snapshot();
+  EXPECT_NE(ctx.snapshots().back().front, fixed);
+}
+
+TEST(EvalContext, ArchiveTracksNonDominated) {
+  Zdt problem(ZdtVariant::kZdt1, 6);
+  EvalContext<Zdt> ctx(problem, 4, 200);
+  while (!ctx.exhausted()) {
+    ctx.evaluate(problem.random_design(ctx.rng()));
+  }
+  const auto points = ctx.archive().objective_set();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j) EXPECT_FALSE(moo::dominates(points[i], points[j]));
+    }
+  }
+}
+
+TEST(DecompositionPopulation, InitializeFillsAllSubproblems) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  EvalContext<Zdt> ctx(problem, 5, 1000);
+  DecompositionPopulation<Zdt> pop(12, 2, 4);
+  pop.initialize(ctx);
+  EXPECT_EQ(pop.size(), 12u);
+  EXPECT_EQ(ctx.evaluations(), 12u);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    EXPECT_EQ(pop.objectives(i).size(), 2u);
+    EXPECT_EQ(pop.weight(i).size(), 2u);
+  }
+}
+
+TEST(DecompositionPopulation, ReferencePointIsComponentMinimum) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  EvalContext<Zdt> ctx(problem, 6, 1000);
+  DecompositionPopulation<Zdt> pop(10, 2, 3);
+  pop.initialize(ctx);
+  const auto& z = pop.reference_point();
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_LE(z[k], pop.objectives(i)[k]);
+    }
+  }
+}
+
+TEST(DecompositionPopulation, ObjectiveScaleIsIdealToNadirRange) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  EvalContext<Zdt> ctx(problem, 7, 1000);
+  DecompositionPopulation<Zdt> pop(10, 2, 3);
+  pop.initialize(ctx);
+  const auto scale = pop.objective_scale();
+  ASSERT_EQ(scale.size(), 2u);
+  for (double s : scale) EXPECT_GT(s, 0.0);
+  // Scale covers the population: every deviation is within [0, scale].
+  const auto& z = pop.reference_point();
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_LE(pop.objectives(i)[k] - z[k], scale[k] + 1e-12);
+    }
+  }
+}
+
+TEST(DecompositionPopulation, UpdateReplacesOnlyImprovedSubproblems) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  EvalContext<Zdt> ctx(problem, 8, 1000);
+  DecompositionPopulation<Zdt> pop(10, 2, 3);
+  pop.initialize(ctx);
+  // A candidate dominating everything must replace (up to the cap).
+  const moo::ObjectiveVector ideal_obj{0.0, 0.0};
+  std::vector<std::size_t> pool(pop.size());
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  const auto replaced =
+      pop.update(problem.random_design(ctx.rng()), ideal_obj, pool, 3);
+  EXPECT_EQ(replaced, 3u);
+  // A candidate worse than everything must replace nothing.
+  const moo::ObjectiveVector bad{100.0, 100.0};
+  EXPECT_EQ(pop.update(problem.random_design(ctx.rng()), bad, pool, 3), 0u);
+}
+
+TEST(DecompositionPopulation, MaxReplacementCapHolds) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  EvalContext<Zdt> ctx(problem, 9, 1000);
+  DecompositionPopulation<Zdt> pop(10, 2, 3);
+  pop.initialize(ctx);
+  std::vector<std::size_t> pool(pop.size());
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  const auto replaced =
+      pop.update(problem.random_design(ctx.rng()), {0.0, 0.0}, pool, 1);
+  EXPECT_EQ(replaced, 1u);
+}
+
+TEST(EvalModel, TrainsAndPredictsAfterSamples) {
+  EvalModel model(3, 2, 100);
+  EXPECT_FALSE(model.trained());
+  util::Rng rng(10);
+  // Target = sum of design features; objectives/weights constant.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> f{rng.uniform(), rng.uniform(), rng.uniform()};
+    const double target = f[0] + f[1] + f[2];
+    model.add_sample(f, {0.5, 0.5}, {0.5, 0.5}, target);
+  }
+  model.train(rng);
+  ASSERT_TRUE(model.trained());
+  const double lo = model.predict({0.1, 0.1, 0.1}, {0.5, 0.5}, {0.5, 0.5});
+  const double hi = model.predict({0.9, 0.9, 0.9}, {0.5, 0.5}, {0.5, 0.5});
+  EXPECT_LT(lo, hi);
+}
+
+TEST(EvalModel, CapacityBoundsSamples) {
+  EvalModel model(1, 1, 5);
+  for (int i = 0; i < 20; ++i) {
+    model.add_sample({static_cast<double>(i)}, {0.0}, {1.0}, 0.0);
+  }
+  EXPECT_EQ(model.num_samples(), 5u);
+}
+
+TEST(EvalModel, TrainOnEmptyIsNoop) {
+  EvalModel model(2, 2);
+  util::Rng rng(11);
+  model.train(rng);
+  EXPECT_FALSE(model.trained());
+}
+
+TEST(Moela, GuideModesBothRun) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  for (GuideMode mode : {GuideMode::kFinalValue, GuideMode::kImprovement}) {
+    MoelaConfig c;
+    c.population_size = 12;
+    c.n_local = 3;
+    c.iter_early = 1;
+    c.forest.num_trees = 4;
+    c.forest.max_depth = 5;
+    c.local_search.max_evaluations = 20;
+    c.guide_mode = mode;
+    EvalContext<Zdt> ctx(problem, 12, 800);
+    Moela<Zdt> algo(c);
+    const auto pop = algo.run(ctx);
+    EXPECT_EQ(pop.size(), 12u);
+    EXPECT_GE(ctx.evaluations(), 700u);
+  }
+}
+
+TEST(Moela, TrainIntervalReducesTrainingWithoutBreaking) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  MoelaConfig c;
+  c.population_size = 12;
+  c.n_local = 2;
+  c.train_interval = 4;
+  c.forest.num_trees = 4;
+  c.local_search.max_evaluations = 20;
+  EvalContext<Zdt> ctx(problem, 13, 1000);
+  Moela<Zdt> algo(c);
+  EXPECT_NO_THROW(algo.run(ctx));
+}
+
+TEST(Moela, WallClockBudgetStopsTheRun) {
+  Zdt problem(ZdtVariant::kZdt1, 8);
+  MoelaConfig c;
+  c.population_size = 10;
+  EvalContext<Zdt> ctx(problem, 14, 1000000, 0, /*max_seconds=*/0.2);
+  Moela<Zdt> algo(c);
+  algo.run(ctx);
+  EXPECT_LT(ctx.evaluations(), 1000000u);
+  EXPECT_GE(ctx.elapsed_seconds(), 0.2);
+}
+
+class GuideSweep : public ::testing::TestWithParam<std::size_t> {};
+
+// The learned guide must at minimum produce valid start selections
+// (distinct indices within range) across population sizes.
+TEST_P(GuideSweep, SelectionsAreValidAcrossSizes) {
+  const std::size_t n = GetParam();
+  Zdt problem(ZdtVariant::kZdt2, 8);
+  MoelaConfig c;
+  c.population_size = n;
+  c.n_local = 3;
+  c.iter_early = 1;
+  c.forest.num_trees = 4;
+  c.local_search.max_evaluations = 15;
+  EvalContext<Zdt> ctx(problem, 20 + n, 600);
+  Moela<Zdt> algo(c);
+  const auto pop = algo.run(ctx);
+  EXPECT_EQ(pop.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GuideSweep, ::testing::Values(4, 9, 16, 30));
+
+}  // namespace
+}  // namespace moela::core

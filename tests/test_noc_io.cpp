@@ -1,0 +1,110 @@
+#include "noc/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "noc/constraints.hpp"
+#include "noc/generator.hpp"
+#include "sim/rodinia.hpp"
+#include "util/rng.hpp"
+
+namespace moela::noc {
+namespace {
+
+TEST(DesignIo, RoundTripPreservesDesign) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  DesignOps ops(spec);
+  util::Rng rng(1);
+  const NocDesign original = ops.random_design(rng);
+  const NocDesign restored = design_from_string(design_to_string(original));
+  EXPECT_EQ(original, restored);
+  EXPECT_TRUE(is_feasible(spec, restored));
+}
+
+TEST(DesignIo, RoundTripOnPaperPlatform) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  DesignOps ops(spec);
+  util::Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    const NocDesign d = ops.random_design(rng);
+    EXPECT_EQ(d, design_from_string(design_to_string(d)));
+  }
+}
+
+TEST(DesignIo, CommentsAndBlankLinesIgnored) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  DesignOps ops(spec);
+  util::Rng rng(3);
+  const NocDesign d = ops.random_design(rng);
+  std::string text = design_to_string(d);
+  text = "# checkpoint from run 42\n\n" + text;
+  EXPECT_EQ(d, design_from_string(text));
+}
+
+TEST(DesignIo, MalformedInputsThrow) {
+  EXPECT_THROW(design_from_string(""), std::runtime_error);
+  EXPECT_THROW(design_from_string("wrong-magic v1\n"), std::runtime_error);
+  EXPECT_THROW(design_from_string("noc-design v2\n"), std::runtime_error);
+  EXPECT_THROW(design_from_string("noc-design v1\nplacement\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      design_from_string("noc-design v1\nplacement 0 1\nlinks 2\n0 1\n"),
+      std::runtime_error);  // missing link line
+}
+
+TEST(DesignIo, ParsedLinksAreCanonical) {
+  const auto d = design_from_string(
+      "noc-design v1\nplacement 0 1 2 3\nlinks 2\n3 1\n0 2\n");
+  ASSERT_EQ(d.links.size(), 2u);
+  EXPECT_EQ(d.links[0], Link(0, 2));
+  EXPECT_EQ(d.links[1], Link(1, 3));
+}
+
+TEST(WorkloadIo, RoundTripPreservesWorkload) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const Workload original = sim::make_workload(spec, sim::RodiniaApp::kBfs, 7);
+  const Workload restored =
+      workload_from_string(workload_to_string(original));
+  EXPECT_EQ(restored.name, original.name);
+  ASSERT_EQ(restored.core_power.size(), original.core_power.size());
+  for (std::size_t i = 0; i < original.core_power.size(); ++i) {
+    EXPECT_NEAR(restored.core_power[i], original.core_power[i], 1e-9);
+  }
+  const std::size_t n = spec.num_cores();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(restored.traffic(i, j), original.traffic(i, j), 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(WorkloadIo, SparseEntriesOnly) {
+  Workload w;
+  w.name = "tiny";
+  w.traffic = TrafficMatrix(3);
+  w.traffic(0, 1) = 2.5;
+  w.core_power = {1.0, 2.0, 3.0};
+  const std::string text = workload_to_string(w);
+  // Exactly one traffic entry serialized.
+  EXPECT_NE(text.find("traffic 1"), std::string::npos);
+  const Workload restored = workload_from_string(text);
+  EXPECT_DOUBLE_EQ(restored.traffic(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(restored.traffic(1, 0), 0.0);
+}
+
+TEST(WorkloadIo, MalformedInputsThrow) {
+  EXPECT_THROW(workload_from_string(""), std::runtime_error);
+  EXPECT_THROW(workload_from_string("noc-workload v1 x\ncores 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      workload_from_string(
+          "noc-workload v1 x\ncores 2\npower 1.0\ntraffic 0\n"),
+      std::runtime_error);  // power count mismatch
+  EXPECT_THROW(
+      workload_from_string(
+          "noc-workload v1 x\ncores 2\npower 1 2\ntraffic 1\n5 0 1.0\n"),
+      std::runtime_error);  // index out of range
+}
+
+}  // namespace
+}  // namespace moela::noc

@@ -1,0 +1,143 @@
+#include "noc/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace moela::noc {
+namespace {
+
+TEST(Platform, Paper4x4x4Inventory) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  EXPECT_EQ(spec.num_tiles(), 64u);
+  EXPECT_EQ(spec.count_type(PeType::kCpu), 8u);
+  EXPECT_EQ(spec.count_type(PeType::kGpu), 40u);
+  EXPECT_EQ(spec.count_type(PeType::kLlc), 16u);
+  EXPECT_EQ(spec.num_planar_links(), 96u);
+  EXPECT_EQ(spec.num_vertical_links(), 48u);
+  EXPECT_EQ(spec.max_planar_length(), 5);
+  EXPECT_EQ(spec.max_router_degree(), 7);
+}
+
+TEST(Platform, Small3x3x3Inventory) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  EXPECT_EQ(spec.num_tiles(), 27u);
+  EXPECT_EQ(spec.count_type(PeType::kCpu) + spec.count_type(PeType::kGpu) +
+                spec.count_type(PeType::kLlc),
+            27u);
+}
+
+TEST(Platform, TileCoordinateRoundTrip) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  for (int z = 0; z < 4; ++z) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        const TileId t = spec.tile_at(x, y, z);
+        EXPECT_EQ(spec.x_of(t), x);
+        EXPECT_EQ(spec.y_of(t), y);
+        EXPECT_EQ(spec.z_of(t), z);
+      }
+    }
+  }
+}
+
+TEST(Platform, PlanarLengthIsManhattan) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  const TileId a = spec.tile_at(0, 0, 1);
+  const TileId b = spec.tile_at(3, 2, 1);
+  EXPECT_EQ(spec.planar_length(a, b), 5);
+}
+
+TEST(Platform, EdgeTiles4x4LayerHasTwelve) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  // In a 4x4 layer only the 4 interior tiles are non-edge: 12 edge per
+  // layer x 4 layers = 48.
+  EXPECT_EQ(spec.edge_tiles().size(), 48u);
+  for (TileId t : spec.edge_tiles()) EXPECT_TRUE(spec.is_edge_tile(t));
+}
+
+TEST(Platform, EdgeTiles3x3OnlyCenterExcluded) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  EXPECT_EQ(spec.edge_tiles().size(), 24u);  // 8 per layer x 3
+  EXPECT_FALSE(spec.is_edge_tile(spec.tile_at(1, 1, 0)));
+}
+
+TEST(Platform, VerticalCandidatesAreAllAdjacentPairs) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  // 16 (x,y) positions x 3 layer boundaries.
+  EXPECT_EQ(spec.vertical_candidates().size(), 48u);
+  for (const Link& l : spec.vertical_candidates()) {
+    EXPECT_EQ(spec.x_of(l.a), spec.x_of(l.b));
+    EXPECT_EQ(spec.y_of(l.a), spec.y_of(l.b));
+    EXPECT_EQ(spec.z_of(l.b) - spec.z_of(l.a), 1);
+  }
+}
+
+TEST(Platform, PlanarCandidatesRespectLengthBound) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  for (const Link& l : spec.planar_candidates()) {
+    EXPECT_EQ(spec.z_of(l.a), spec.z_of(l.b));
+    EXPECT_GE(spec.planar_length(l.a, l.b), 1);
+    EXPECT_LE(spec.planar_length(l.a, l.b), 5);
+  }
+  // 4x4 layer: C(16,2)=120 pairs, minus the 2 corner-to-corner pairs of
+  // length 6 -> 118 per layer, x4 layers.
+  EXPECT_EQ(spec.planar_candidates().size(), 4u * 118u);
+}
+
+TEST(Platform, LinkLegality) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  const TileId a = spec.tile_at(0, 0, 0);
+  EXPECT_TRUE(spec.link_is_legal(Link(a, spec.tile_at(1, 0, 0))));
+  EXPECT_TRUE(spec.link_is_legal(Link(a, spec.tile_at(0, 0, 1))));  // TSV
+  // Corner to corner: length 6 > 5.
+  EXPECT_FALSE(spec.link_is_legal(Link(a, spec.tile_at(3, 3, 0))));
+  // Diagonal vertical is illegal.
+  EXPECT_FALSE(spec.link_is_legal(Link(a, spec.tile_at(1, 0, 1))));
+  // Skipping a layer is illegal.
+  EXPECT_FALSE(spec.link_is_legal(Link(a, spec.tile_at(0, 0, 2))));
+  // Self-link illegal.
+  EXPECT_FALSE(spec.link_is_legal(Link(a, a)));
+}
+
+TEST(Platform, InvalidSpecsThrow) {
+  std::vector<PeType> cores(8, PeType::kGpu);
+  EXPECT_THROW(PlatformSpec(2, 2, 2, std::vector<PeType>(7, PeType::kGpu), 4,
+                            4),
+               std::invalid_argument);  // wrong core count
+  EXPECT_THROW(PlatformSpec(0, 2, 2, cores, 4, 4), std::invalid_argument);
+  // More LLCs than edge tiles is impossible to place.
+  std::vector<PeType> all_llc(8, PeType::kLlc);
+  EXPECT_NO_THROW(PlatformSpec(2, 2, 2, all_llc, 4, 4));  // 2x2: all edge
+  // Budget above candidate count:
+  EXPECT_THROW(PlatformSpec(2, 2, 2, cores, 1000, 4), std::invalid_argument);
+  EXPECT_THROW(PlatformSpec(2, 2, 2, cores, 4, 1000), std::invalid_argument);
+}
+
+TEST(Platform, CoresOfTypeAscending) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  const auto cpus = spec.cores_of_type(PeType::kCpu);
+  ASSERT_EQ(cpus.size(), 8u);
+  for (std::size_t i = 1; i < cpus.size(); ++i) {
+    EXPECT_LT(cpus[i - 1], cpus[i]);
+  }
+  for (CoreId c : cpus) EXPECT_EQ(spec.core_type(c), PeType::kCpu);
+}
+
+TEST(Link, CanonicalOrdering) {
+  const Link l(5, 2);
+  EXPECT_EQ(l.a, 2);
+  EXPECT_EQ(l.b, 5);
+  EXPECT_EQ(l, Link(2, 5));
+  EXPECT_LT(Link(1, 2), Link(1, 3));
+  EXPECT_LT(Link(1, 9), Link(2, 3));
+}
+
+TEST(PeTypeNames, AllNamed) {
+  EXPECT_STREQ(to_string(PeType::kCpu), "CPU");
+  EXPECT_STREQ(to_string(PeType::kGpu), "GPU");
+  EXPECT_STREQ(to_string(PeType::kLlc), "LLC");
+}
+
+}  // namespace
+}  // namespace moela::noc

@@ -1,0 +1,167 @@
+#include "noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "noc/generator.hpp"
+#include "noc/platform.hpp"
+#include "util/rng.hpp"
+
+namespace moela::noc {
+namespace {
+
+NocDesign mesh_design(const PlatformSpec& spec) {
+  NocDesign d;
+  d.placement.resize(spec.num_tiles());
+  std::iota(d.placement.begin(), d.placement.end(), CoreId{0});
+  for (TileId t = 0; t < spec.num_tiles(); ++t) {
+    const int x = spec.x_of(t), y = spec.y_of(t), z = spec.z_of(t);
+    if (x + 1 < spec.nx()) d.links.emplace_back(t, spec.tile_at(x + 1, y, z));
+    if (y + 1 < spec.ny()) d.links.emplace_back(t, spec.tile_at(x, y + 1, z));
+    if (z + 1 < spec.nz()) d.links.emplace_back(t, spec.tile_at(x, y, z + 1));
+  }
+  d.canonicalize();
+  return d;
+}
+
+TEST(Routing, MeshHopsAreManhattan3D) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const RoutingTable routes(spec, mesh_design(spec));
+  for (TileId s = 0; s < spec.num_tiles(); ++s) {
+    for (TileId t = 0; t < spec.num_tiles(); ++t) {
+      const int expected = std::abs(spec.x_of(s) - spec.x_of(t)) +
+                           std::abs(spec.y_of(s) - spec.y_of(t)) +
+                           std::abs(spec.z_of(s) - spec.z_of(t));
+      EXPECT_EQ(routes.hops(s, t), expected) << s << "->" << t;
+    }
+  }
+}
+
+TEST(Routing, HopsSymmetricOnUndirectedGraph) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  DesignOps ops(spec);
+  util::Rng rng(3);
+  const NocDesign d = ops.random_design(rng);
+  const RoutingTable routes(spec, d);
+  for (TileId s = 0; s < spec.num_tiles(); s += 5) {
+    for (TileId t = 0; t < spec.num_tiles(); t += 3) {
+      EXPECT_EQ(routes.hops(s, t), routes.hops(t, s));
+    }
+  }
+}
+
+TEST(Routing, PathEndpointsAndLength) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const RoutingTable routes(spec, mesh_design(spec));
+  const TileId s = spec.tile_at(0, 0, 0);
+  const TileId t = spec.tile_at(2, 2, 2);
+  const auto path = routes.path(s, t);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), s);
+  EXPECT_EQ(path.back(), t);
+  EXPECT_EQ(static_cast<int>(path.size()) - 1, routes.hops(s, t));
+}
+
+TEST(Routing, PathToSelfIsSingleton) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const RoutingTable routes(spec, mesh_design(spec));
+  const auto path = routes.path(4, 4);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 4);
+}
+
+TEST(Routing, ConsecutivePathTilesAreLinked) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  DesignOps ops(spec);
+  util::Rng rng(7);
+  const NocDesign d = ops.random_design(rng);
+  const RoutingTable routes(spec, d);
+  for (TileId s = 0; s < spec.num_tiles(); s += 7) {
+    for (TileId t = 0; t < spec.num_tiles(); t += 11) {
+      const auto path = routes.path(s, t);
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        const Link hop(path[i - 1], path[i]);
+        EXPECT_TRUE(
+            std::binary_search(d.links.begin(), d.links.end(), hop))
+            << "missing link on path " << s << "->" << t;
+      }
+    }
+  }
+}
+
+TEST(Routing, ForEachHopMatchesPath) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const RoutingTable routes(spec, mesh_design(spec));
+  const TileId s = spec.tile_at(0, 1, 0);
+  const TileId t = spec.tile_at(2, 0, 2);
+  const auto path = routes.path(s, t);
+  std::size_t hops = 0;
+  routes.for_each_hop(s, t, [&](TileId a, TileId b) {
+    // for_each_hop walks backwards from t; every reported pair must be a
+    // consecutive pair of `path`.
+    bool found = false;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (path[i - 1] == a && path[i] == b) found = true;
+    }
+    EXPECT_TRUE(found);
+    ++hops;
+  });
+  EXPECT_EQ(hops, path.size() - 1);
+}
+
+TEST(Routing, DeterministicAcrossRebuilds) {
+  const auto spec = PlatformSpec::paper_4x4x4();
+  DesignOps ops(spec);
+  util::Rng rng(11);
+  const NocDesign d = ops.random_design(rng);
+  const RoutingTable r1(spec, d);
+  const RoutingTable r2(spec, d);
+  for (TileId s = 0; s < spec.num_tiles(); s += 3) {
+    for (TileId t = 0; t < spec.num_tiles(); t += 5) {
+      EXPECT_EQ(r1.path(s, t), r2.path(s, t));
+    }
+  }
+}
+
+TEST(Routing, ShortestOverRandomTopologies) {
+  // Property: BFS distance <= any explicitly enumerated 2-hop alternative.
+  const auto spec = PlatformSpec::small_3x3x3();
+  DesignOps ops(spec);
+  util::Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const NocDesign d = ops.random_design(rng);
+    const RoutingTable routes(spec, d);
+    const Adjacency adj(spec, d.links);
+    for (TileId s = 0; s < spec.num_tiles(); ++s) {
+      for (TileId v : adj.neighbors(s)) {
+        for (TileId t = 0; t < spec.num_tiles(); ++t) {
+          EXPECT_LE(routes.hops(s, t), 1 + routes.hops(v, t))
+              << "triangle inequality violated";
+        }
+      }
+    }
+  }
+}
+
+TEST(LinkIndex, FindsEveryLink) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const NocDesign d = mesh_design(spec);
+  const LinkIndex index(d.links);
+  for (std::size_t k = 0; k < d.links.size(); ++k) {
+    EXPECT_EQ(index.of(d.links[k].a, d.links[k].b), k);
+    EXPECT_EQ(index.of(d.links[k].b, d.links[k].a), k);  // order-insensitive
+  }
+}
+
+TEST(LinkIndex, MissingLinkThrows) {
+  const auto spec = PlatformSpec::small_3x3x3();
+  const NocDesign d = mesh_design(spec);
+  const LinkIndex index(d.links);
+  // (0,0,0)-(2,0,0) is a legal candidate but not a mesh link.
+  EXPECT_THROW(index.of(spec.tile_at(0, 0, 0), spec.tile_at(2, 0, 0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace moela::noc

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/pareto.hpp"
+#include "moo/problem.hpp"
+#include "problems/continuous.hpp"
+#include "problems/dtlz.hpp"
+#include "problems/knapsack.hpp"
+#include "problems/zdt.hpp"
+#include "util/rng.hpp"
+
+namespace moela::problems {
+namespace {
+
+// The test problems must satisfy the library-wide problem concept.
+static_assert(moo::MooProblem<Dtlz1>);
+static_assert(moo::MooProblem<Dtlz2>);
+static_assert(moo::MooProblem<Dtlz7>);
+static_assert(moo::MooProblem<Zdt>);
+static_assert(moo::MooProblem<MultiObjectiveKnapsack>);
+
+TEST(Continuous, SbxChildWithinBounds) {
+  util::Rng rng(1);
+  const RealVector a{0.1, 0.9, 0.5};
+  const RealVector b{0.8, 0.2, 0.5};
+  for (int i = 0; i < 200; ++i) {
+    const auto child = sbx_crossover(a, b, rng);
+    ASSERT_EQ(child.size(), 3u);
+    for (double g : child) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+}
+
+TEST(Continuous, MutationStaysInBounds) {
+  util::Rng rng(2);
+  RealVector x{0.0, 1.0, 0.5};
+  for (int i = 0; i < 200; ++i) {
+    const auto m = polynomial_mutation(x, rng);
+    for (double g : m) {
+      EXPECT_GE(g, 0.0);
+      EXPECT_LE(g, 1.0);
+    }
+  }
+}
+
+TEST(Continuous, CoordinateStepChangesAtMostOneGene) {
+  util::Rng rng(3);
+  const RealVector x{0.5, 0.5, 0.5, 0.5};
+  for (int i = 0; i < 100; ++i) {
+    const auto n = coordinate_step(x, rng);
+    int changed = 0;
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      if (n[k] != x[k]) ++changed;
+    }
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(Dtlz2, OptimalPointEvaluatesOntoUnitSphere) {
+  Dtlz2 problem(3);
+  // Distance variables at 0.5 -> g = 0 -> sum f_i^2 == 1.
+  RealVector x(problem.num_variables(), 0.5);
+  x[0] = 0.3;
+  x[1] = 0.7;
+  const auto f = problem.evaluate(x);
+  double s = 0.0;
+  for (double v : f) s += v * v;
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Dtlz2, PerturbedDistanceVariablesMoveOffFront) {
+  Dtlz2 problem(3);
+  RealVector x(problem.num_variables(), 0.5);
+  x[problem.num_variables() - 1] = 0.9;  // g > 0
+  const auto f = problem.evaluate(x);
+  double s = 0.0;
+  for (double v : f) s += v * v;
+  EXPECT_GT(s, 1.0);
+}
+
+TEST(Dtlz2, FrontSamplesOnSphere) {
+  Dtlz2 problem(4);
+  util::Rng rng(4);
+  for (const auto& f : problem.pareto_front_samples(100, rng)) {
+    double s = 0.0;
+    for (double v : f) s += v * v;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(Dtlz1, OptimalPointsOnLinearFront) {
+  Dtlz1 problem(3);
+  RealVector x(problem.num_variables(), 0.5);  // g = 0
+  x[0] = 0.2;
+  x[1] = 0.6;
+  const auto f = problem.evaluate(x);
+  double s = 0.0;
+  for (double v : f) s += v;
+  EXPECT_NEAR(s, 0.5, 1e-9);
+}
+
+TEST(Dtlz1, FrontSamplesSumToHalf) {
+  Dtlz1 problem(5);
+  util::Rng rng(5);
+  for (const auto& f : problem.pareto_front_samples(50, rng)) {
+    double s = 0.0;
+    for (double v : f) s += v;
+    EXPECT_NEAR(s, 0.5, 1e-9);
+  }
+}
+
+TEST(Dtlz7, LastObjectiveUsesHFunction) {
+  Dtlz7 problem(3);
+  RealVector x(problem.num_variables(), 0.0);  // g = 1
+  x[0] = 0.25;
+  x[1] = 0.75;
+  const auto f = problem.evaluate(x);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+  EXPECT_DOUBLE_EQ(f[1], 0.75);
+  EXPECT_GT(f[2], 0.0);
+}
+
+TEST(Zdt1, KnownFrontShape) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  RealVector x(10, 0.0);  // g = 1 -> on the front
+  x[0] = 0.49;
+  const auto f = problem.evaluate(x);
+  EXPECT_DOUBLE_EQ(f[0], 0.49);
+  EXPECT_NEAR(f[1], 1.0 - std::sqrt(0.49), 1e-12);
+}
+
+TEST(Zdt2, ConcaveFront) {
+  Zdt problem(ZdtVariant::kZdt2, 10);
+  RealVector x(10, 0.0);
+  x[0] = 0.5;
+  const auto f = problem.evaluate(x);
+  EXPECT_NEAR(f[1], 0.75, 1e-12);
+}
+
+TEST(Zdt3, FrontSamplesAreNonDominated) {
+  Zdt problem(ZdtVariant::kZdt3, 10);
+  const auto front = problem.pareto_front_samples(200);
+  EXPECT_FALSE(front.empty());
+  EXPECT_LT(front.size(), 200u);  // disconnected: parts filtered out
+  const auto keep = moo::pareto_filter(front);
+  EXPECT_EQ(keep.size(), front.size());
+}
+
+TEST(Zdt, OffFrontPointsDominatedByFrontPoints) {
+  Zdt problem(ZdtVariant::kZdt1, 10);
+  RealVector off(10, 0.5);  // g > 1
+  off[0] = 0.3;
+  const auto f_off = problem.evaluate(off);
+  RealVector on(10, 0.0);
+  on[0] = 0.3;
+  const auto f_on = problem.evaluate(on);
+  EXPECT_TRUE(moo::dominates(f_on, f_off));
+}
+
+TEST(Knapsack, GeneratedInstanceIsConsistent) {
+  MultiObjectiveKnapsack ks(50, 3, 7);
+  EXPECT_EQ(ks.num_items(), 50u);
+  EXPECT_EQ(ks.num_objectives(), 3u);
+  EXPECT_GT(ks.capacity(), 0.0);
+}
+
+TEST(Knapsack, RandomDesignsAreFeasible) {
+  MultiObjectiveKnapsack ks(60, 2, 11);
+  util::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ks.feasible(ks.random_design(rng)));
+  }
+}
+
+TEST(Knapsack, OperatorsPreserveFeasibility) {
+  MultiObjectiveKnapsack ks(40, 2, 13);
+  util::Rng rng(9);
+  auto a = ks.random_design(rng);
+  auto b = ks.random_design(rng);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ks.feasible(ks.random_neighbor(a, rng)));
+    EXPECT_TRUE(ks.feasible(ks.crossover(a, b, rng)));
+    EXPECT_TRUE(ks.feasible(ks.mutate(a, rng)));
+  }
+}
+
+TEST(Knapsack, ObjectivesAreNegatedProfits) {
+  MultiObjectiveKnapsack ks(10, 2, 17);
+  MultiObjectiveKnapsack::Design empty(10, 0);
+  const auto f = ks.evaluate(empty);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  util::Rng rng(10);
+  const auto d = ks.random_design(rng);
+  bool any = false;
+  for (auto bit : d) any = any || bit;
+  if (any) {
+    const auto fd = ks.evaluate(d);
+    EXPECT_LT(fd[0], 0.0);  // selecting items reduces (negated) objective
+  }
+}
+
+TEST(Knapsack, MoreItemsNeverWorseObjective) {
+  // Adding an item (if feasible) can only decrease the negated profit.
+  MultiObjectiveKnapsack ks(20, 2, 19);
+  MultiObjectiveKnapsack::Design d(20, 0);
+  d[3] = 1;
+  auto d2 = d;
+  d2[7] = 1;
+  if (ks.feasible(d2)) {
+    const auto f1 = ks.evaluate(d);
+    const auto f2 = ks.evaluate(d2);
+    EXPECT_LE(f2[0], f1[0]);
+    EXPECT_LE(f2[1], f1[1]);
+  }
+}
+
+TEST(Knapsack, DeterministicInstanceFromSeed) {
+  MultiObjectiveKnapsack a(30, 2, 23);
+  MultiObjectiveKnapsack b(30, 2, 23);
+  MultiObjectiveKnapsack::Design d(30, 0);
+  for (std::size_t i = 0; i < 30; i += 3) d[i] = 1;
+  EXPECT_EQ(a.evaluate(d), b.evaluate(d));
+  EXPECT_EQ(a.capacity(), b.capacity());
+}
+
+class ZdtSweep : public ::testing::TestWithParam<ZdtVariant> {};
+
+TEST_P(ZdtSweep, EvaluationBoundsAndFeatureWidth) {
+  Zdt problem(GetParam(), 12);
+  util::Rng rng(20);
+  for (int i = 0; i < 50; ++i) {
+    const auto x = problem.random_design(rng);
+    const auto f = problem.evaluate(x);
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_GE(f[0], 0.0);
+    EXPECT_LE(f[0], 1.0);
+    EXPECT_EQ(problem.features(x).size(), problem.num_features());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ZdtSweep,
+                         ::testing::Values(ZdtVariant::kZdt1,
+                                           ZdtVariant::kZdt2,
+                                           ZdtVariant::kZdt3));
+
+}  // namespace
+}  // namespace moela::problems

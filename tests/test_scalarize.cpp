@@ -1,0 +1,76 @@
+#include "moo/scalarize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moo/objective.hpp"
+
+namespace moela::moo {
+namespace {
+
+TEST(Tchebycheff, MaxWeightedDeviation) {
+  const ObjectiveVector obj{3.0, 5.0};
+  const ObjectiveVector w{0.5, 0.5};
+  const ObjectiveVector z{1.0, 1.0};
+  // max(0.5*2, 0.5*4) = 2.0
+  EXPECT_DOUBLE_EQ(tchebycheff(obj, w, z), 2.0);
+}
+
+TEST(Tchebycheff, ZeroWeightGetsEpsilonFloor) {
+  const ObjectiveVector obj{10.0, 1.0};
+  const ObjectiveVector w{0.0, 1.0};
+  const ObjectiveVector z{0.0, 0.0};
+  // Objective 0 still contributes via the 1e-6 floor.
+  EXPECT_GT(tchebycheff(obj, w, z), 0.999);
+  const ObjectiveVector obj2{1e9, 0.0};
+  EXPECT_GT(tchebycheff(obj2, w, z), 100.0);
+}
+
+TEST(Tchebycheff, AtReferencePointIsZero) {
+  const ObjectiveVector z{2.0, 3.0, 4.0};
+  const ObjectiveVector w{0.3, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(tchebycheff(z, w, z), 0.0);
+}
+
+TEST(Tchebycheff, BetterDesignScoresLower) {
+  const ObjectiveVector w{0.5, 0.5};
+  const ObjectiveVector z{0.0, 0.0};
+  EXPECT_LT(tchebycheff(ObjectiveVector{1.0, 1.0}, w, z),
+            tchebycheff(ObjectiveVector{2.0, 2.0}, w, z));
+}
+
+TEST(WeightedDistance, SumOfWeightedDeviations) {
+  const ObjectiveVector obj{3.0, 5.0};
+  const ObjectiveVector w{0.25, 0.75};
+  const ObjectiveVector z{1.0, 1.0};
+  // 0.25*2 + 0.75*4 = 3.5 (Eq. 8)
+  EXPECT_DOUBLE_EQ(weighted_distance(obj, w, z), 3.5);
+}
+
+TEST(WeightedDistance, UpperBoundsTchebycheff) {
+  // sum of non-negative terms >= their max (with equal weights).
+  const ObjectiveVector obj{4.0, 7.0, 2.0};
+  const ObjectiveVector w{0.33, 0.33, 0.34};
+  const ObjectiveVector z{1.0, 1.0, 1.0};
+  EXPECT_GE(weighted_distance(obj, w, z), tchebycheff(obj, w, z));
+}
+
+TEST(ReferencePoint, StartsAtInfinityAndTracksMinima) {
+  ReferencePoint z(2);
+  EXPECT_TRUE(z.update(ObjectiveVector{5.0, 3.0}));
+  EXPECT_EQ(z.value(), (ObjectiveVector{5.0, 3.0}));
+  EXPECT_TRUE(z.update(ObjectiveVector{6.0, 1.0}));  // improves dim 1 only
+  EXPECT_EQ(z.value(), (ObjectiveVector{5.0, 1.0}));
+  EXPECT_FALSE(z.update(ObjectiveVector{7.0, 2.0}));  // no improvement
+  EXPECT_EQ(z.value(), (ObjectiveVector{5.0, 1.0}));
+}
+
+TEST(ReferencePoint, ComponentWiseNotPointWise) {
+  ReferencePoint z(3);
+  z.update(ObjectiveVector{1.0, 9.0, 9.0});
+  z.update(ObjectiveVector{9.0, 1.0, 9.0});
+  z.update(ObjectiveVector{9.0, 9.0, 1.0});
+  EXPECT_EQ(z.value(), (ObjectiveVector{1.0, 1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace moela::moo

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "noc/generator.hpp"
+#include "sim/edp.hpp"
+#include "sim/rodinia.hpp"
+#include "util/rng.hpp"
+
+namespace moela::sim {
+namespace {
+
+TEST(Rodinia, SevenAppsNamedUniquely) {
+  const auto& apps = all_rodinia_apps();
+  EXPECT_EQ(apps.size(), 7u);
+  std::set<std::string> names;
+  for (auto app : apps) names.insert(app_name(app));
+  EXPECT_EQ(names.size(), 7u);
+  EXPECT_TRUE(names.count("BFS"));
+  EXPECT_TRUE(names.count("SRAD"));
+}
+
+TEST(Rodinia, WorkloadShapesMatchPlatform) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  for (auto app : all_rodinia_apps()) {
+    const auto w = make_workload(spec, app, 1);
+    EXPECT_EQ(w.traffic.num_cores(), spec.num_cores());
+    EXPECT_EQ(w.core_power.size(), spec.num_cores());
+    EXPECT_EQ(w.name, app_name(app));
+  }
+}
+
+TEST(Rodinia, TrafficNonNegativeAndNonTrivial) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w = make_workload(spec, RodiniaApp::kStreamcluster, 3);
+  double total = 0.0;
+  for (std::size_t i = 0; i < spec.num_cores(); ++i) {
+    for (std::size_t j = 0; j < spec.num_cores(); ++j) {
+      EXPECT_GE(w.traffic(i, j), 0.0);
+      total += w.traffic(i, j);
+    }
+  }
+  EXPECT_GT(total, 100.0);
+  EXPECT_DOUBLE_EQ(total, w.traffic.total());
+}
+
+TEST(Rodinia, NoSelfTraffic) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w = make_workload(spec, RodiniaApp::kBfs, 5);
+  for (std::size_t i = 0; i < spec.num_cores(); ++i) {
+    EXPECT_DOUBLE_EQ(w.traffic(i, i), 0.0);
+  }
+}
+
+TEST(Rodinia, EveryCpuTalksToLlcs) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w = make_workload(spec, RodiniaApp::kBackprop, 7);
+  for (auto c : spec.cores_of_type(noc::PeType::kCpu)) {
+    double traffic_to_llc = 0.0;
+    for (auto l : spec.cores_of_type(noc::PeType::kLlc)) {
+      traffic_to_llc += w.traffic(c, l) + w.traffic(l, c);
+    }
+    EXPECT_GT(traffic_to_llc, 0.0);
+  }
+}
+
+TEST(Rodinia, PowerIsPositiveAndTypeOrdered) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w = make_workload(spec, RodiniaApp::kHotspot3D, 9);
+  double cpu_avg = 0.0, llc_avg = 0.0;
+  for (auto c : spec.cores_of_type(noc::PeType::kCpu)) {
+    EXPECT_GT(w.core_power[c], 0.0);
+    cpu_avg += w.core_power[c];
+  }
+  for (auto c : spec.cores_of_type(noc::PeType::kLlc)) {
+    llc_avg += w.core_power[c];
+  }
+  cpu_avg /= 8.0;
+  llc_avg /= 16.0;
+  EXPECT_GT(cpu_avg, llc_avg);  // CPUs burn more than LLC slices
+}
+
+TEST(Rodinia, DeterministicForSameSeed) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w1 = make_workload(spec, RodiniaApp::kSrad, 42);
+  const auto w2 = make_workload(spec, RodiniaApp::kSrad, 42);
+  for (std::size_t i = 0; i < spec.num_cores(); ++i) {
+    EXPECT_EQ(w1.core_power[i], w2.core_power[i]);
+    for (std::size_t j = 0; j < spec.num_cores(); ++j) {
+      EXPECT_EQ(w1.traffic(i, j), w2.traffic(i, j));
+    }
+  }
+}
+
+TEST(Rodinia, DifferentSeedsVaryButKeepStructure) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w1 = make_workload(spec, RodiniaApp::kGaussian, 1);
+  const auto w2 = make_workload(spec, RodiniaApp::kGaussian, 2);
+  EXPECT_NE(w1.traffic.total(), w2.traffic.total());
+  // Totals stay within the same order of magnitude (same archetype).
+  EXPECT_NEAR(w1.traffic.total() / w2.traffic.total(), 1.0, 0.3);
+}
+
+TEST(Rodinia, ArchetypesAreDistinct) {
+  // The apps must induce different optimization landscapes: compare the
+  // GPU-LLC streaming share of BFS (latency-bound) vs SC (bandwidth-bound).
+  const auto bfs = archetype(RodiniaApp::kBfs);
+  const auto sc = archetype(RodiniaApp::kStreamcluster);
+  EXPECT_LT(bfs.gpu_llc, sc.gpu_llc);
+  EXPECT_GT(bfs.cpu_fraction, sc.cpu_fraction);
+  const auto gau = archetype(RodiniaApp::kGaussian);
+  EXPECT_GT(gau.llc_skew, bfs.llc_skew);  // GAU has hotspots, BFS uniform
+}
+
+TEST(Edp, ProducesPositiveResults) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w = make_workload(spec, RodiniaApp::kBackprop, 11);
+  noc::DesignOps ops(spec);
+  util::Rng rng(13);
+  const auto d = ops.random_design(rng);
+  const auto r = estimate_edp(spec, d, w, archetype(RodiniaApp::kBackprop));
+  EXPECT_GT(r.exec_time, 0.0);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_NEAR(r.edp, r.energy * r.exec_time, 1e-9);
+  EXPECT_GT(r.peak_temperature, 0.0);
+}
+
+TEST(Edp, MoreCongestionMeansMoreTime) {
+  // Scaling all traffic up raises mean/variance utilization and must not
+  // decrease execution time.
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  auto w = make_workload(spec, RodiniaApp::kStreamcluster, 17);
+  noc::DesignOps ops(spec);
+  util::Rng rng(19);
+  const auto d = ops.random_design(rng);
+  const auto arch = archetype(RodiniaApp::kStreamcluster);
+  const auto base = estimate_edp(spec, d, w, arch);
+  w.traffic.scale(2.0);
+  const auto heavy = estimate_edp(spec, d, w, arch);
+  EXPECT_GT(heavy.exec_time, base.exec_time);
+  EXPECT_GT(heavy.edp, base.edp);
+}
+
+TEST(Edp, DeterministicScoring) {
+  const auto spec = noc::PlatformSpec::paper_4x4x4();
+  const auto w = make_workload(spec, RodiniaApp::kPathfinder, 23);
+  noc::DesignOps ops(spec);
+  util::Rng rng(29);
+  const auto d = ops.random_design(rng);
+  const auto arch = archetype(RodiniaApp::kPathfinder);
+  const auto r1 = estimate_edp(spec, d, w, arch);
+  const auto r2 = estimate_edp(spec, d, w, arch);
+  EXPECT_EQ(r1.edp, r2.edp);
+}
+
+class AppSweep : public ::testing::TestWithParam<RodiniaApp> {};
+
+TEST_P(AppSweep, WorkloadAndEdpWellFormed) {
+  const auto spec = noc::PlatformSpec::small_3x3x3();
+  const auto w = make_workload(spec, GetParam(), 31);
+  EXPECT_GT(w.traffic.total(), 0.0);
+  noc::DesignOps ops(spec);
+  util::Rng rng(37);
+  const auto d = ops.random_design(rng);
+  const auto r = estimate_edp(spec, d, w, archetype(GetParam()));
+  EXPECT_GT(r.edp, 0.0);
+  EXPECT_LT(r.exec_time, 100.0);  // stretch factors stay bounded
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, AppSweep,
+    ::testing::Values(RodiniaApp::kBackprop, RodiniaApp::kBfs,
+                      RodiniaApp::kGaussian, RodiniaApp::kHotspot3D,
+                      RodiniaApp::kPathfinder, RodiniaApp::kStreamcluster,
+                      RodiniaApp::kSrad));
+
+}  // namespace
+}  // namespace moela::sim

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace moela::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStats, MatchesBatchComputation) {
+  Rng rng(7);
+  std::vector<double> xs;
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(s.max(), max_of(xs));
+}
+
+TEST(OnlineStats, SampleVarianceUsesNMinusOne) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);         // population: /2
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);  // sample: /1
+}
+
+TEST(Stats, MeanKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, VarianceKnownValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> xs(10, 3.3);
+  EXPECT_NEAR(variance(xs), 0.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, GeomeanKnownValues) {
+  EXPECT_NEAR(geomean(std::vector<double>{2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean(std::vector<double>{1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  EXPECT_THROW(geomean(std::vector<double>{1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(geomean(std::vector<double>{-1.0}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileEndpointsAndMiddle) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 10), 1.0);
+}
+
+TEST(Stats, MinMaxEmpty) {
+  EXPECT_EQ(min_of(std::vector<double>{}), 0.0);
+  EXPECT_EQ(max_of(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace moela::util

@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace moela::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"app", "value"});
+  t.add_row({"BFS", "1.5"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("app"), std::string::npos);
+  EXPECT_NE(out.find("BFS"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, SetHeaderAfterRowsThrows) {
+  Table t;
+  t.add_row({"x"});
+  EXPECT_THROW(t.set_header({"a"}), std::logic_error);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t;
+  t.set_header({"label", "v1", "v2"});
+  t.add_row_numeric("row", {1.2345, 2.0}, 2);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t;
+  t.set_header({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, MarkdownColumnsAligned) {
+  Table t;
+  t.set_header({"x", "longer-header"});
+  t.add_row({"val", "y"});
+  std::istringstream is(t.to_string());
+  std::string line1, line2, line3;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  std::getline(is, line3);
+  EXPECT_EQ(line1.size(), line2.size());
+  EXPECT_EQ(line1.size(), line3.size());
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+TEST(Fmt, FactorAndPercent) {
+  EXPECT_EQ(fmt_factor(12.345, 1), "12.3x");
+  EXPECT_EQ(fmt_percent(0.42), "42%");
+  EXPECT_EQ(fmt_percent(1.234, 1), "123.4%");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/moela_test_csv.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.write_row(std::vector<double>{1.0, 2.0});
+    w.write_row(std::vector<std::string>{"x", "y"});
+    w.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter w("/tmp/moela_test_csv2.csv", {"a", "b"});
+  EXPECT_THROW(w.write_row(std::vector<double>{1.0}), std::invalid_argument);
+  std::filesystem::remove("/tmp/moela_test_csv2.csv");
+}
+
+TEST(Log, LevelFiltering) {
+  set_log_level(LogLevel::kError);
+  log_info() << "should not crash and should be filtered";
+  set_log_level(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace moela::util

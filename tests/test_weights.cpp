@@ -1,0 +1,148 @@
+#include "moo/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace moela::moo {
+namespace {
+
+double sum(const WeightVector& w) {
+  double s = 0.0;
+  for (double v : w) s += v;
+  return s;
+}
+
+TEST(SimplexLattice, SizeFormulaMatchesEnumeration) {
+  for (std::size_t m : {2ul, 3ul, 4ul, 5ul}) {
+    for (std::size_t h : {1ul, 2ul, 4ul, 6ul}) {
+      EXPECT_EQ(simplex_lattice(m, h).size(), simplex_lattice_size(m, h))
+          << "m=" << m << " h=" << h;
+    }
+  }
+}
+
+TEST(SimplexLattice, TwoObjectivesTenDivisions) {
+  // The paper's example: N=11, M=2 -> {[0,1],[0.1,0.9],...,[1,0]}.
+  const auto lattice = simplex_lattice(2, 10);
+  ASSERT_EQ(lattice.size(), 11u);
+  EXPECT_DOUBLE_EQ(lattice.front()[0], 0.0);
+  EXPECT_DOUBLE_EQ(lattice.front()[1], 1.0);
+  EXPECT_DOUBLE_EQ(lattice.back()[0], 1.0);
+  EXPECT_DOUBLE_EQ(lattice.back()[1], 0.0);
+  for (const auto& w : lattice) EXPECT_NEAR(sum(w), 1.0, 1e-12);
+}
+
+TEST(SimplexLattice, AllVectorsOnSimplex) {
+  const auto lattice = simplex_lattice(4, 5);
+  for (const auto& w : lattice) {
+    EXPECT_NEAR(sum(w), 1.0, 1e-12);
+    for (double v : w) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(UniformWeights, ExactCountAnyN) {
+  for (std::size_t m : {2ul, 3ul, 5ul}) {
+    for (std::size_t n : {1ul, 7ul, 50ul, 101ul}) {
+      const auto w = uniform_weights(m, n);
+      EXPECT_EQ(w.size(), n) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(UniformWeights, CornersAlwaysIncluded) {
+  // Every single-objective direction must be represented (so the
+  // decomposition covers the objective-space extremes).
+  for (std::size_t m : {2ul, 3ul, 4ul, 5ul}) {
+    const auto ws = uniform_weights(m, 50);
+    for (std::size_t i = 0; i < m; ++i) {
+      bool found = false;
+      for (const auto& w : ws) {
+        if (std::abs(w[i] - 1.0) < 1e-12) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "corner " << i << " missing for m=" << m;
+    }
+  }
+}
+
+TEST(UniformWeights, VectorsAreDistinct) {
+  const auto ws = uniform_weights(3, 50);
+  std::set<std::vector<double>> unique(ws.begin(), ws.end());
+  EXPECT_EQ(unique.size(), ws.size());
+}
+
+TEST(UniformWeights, OneObjectiveDegenerate) {
+  const auto ws = uniform_weights(1, 5);
+  ASSERT_EQ(ws.size(), 5u);
+  for (const auto& w : ws) {
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(UniformWeights, ZeroReturnsEmpty) {
+  EXPECT_TRUE(uniform_weights(3, 0).empty());
+}
+
+TEST(WeightNeighborhoods, SelfIsNearest) {
+  const auto ws = uniform_weights(3, 20);
+  const auto hoods = weight_neighborhoods(ws, 5);
+  ASSERT_EQ(hoods.size(), ws.size());
+  for (std::size_t i = 0; i < hoods.size(); ++i) {
+    ASSERT_EQ(hoods[i].size(), 5u);
+    EXPECT_EQ(hoods[i][0], i);  // distance 0 to itself
+  }
+}
+
+TEST(WeightNeighborhoods, SortedByDistance) {
+  const auto ws = uniform_weights(2, 11);
+  const auto hoods = weight_neighborhoods(ws, 4);
+  auto dist = [&](std::size_t a, std::size_t b) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < ws[a].size(); ++k) {
+      const double d = ws[a][k] - ws[b][k];
+      s += d * d;
+    }
+    return s;
+  };
+  for (std::size_t i = 0; i < hoods.size(); ++i) {
+    for (std::size_t k = 1; k < hoods[i].size(); ++k) {
+      EXPECT_LE(dist(i, hoods[i][k - 1]), dist(i, hoods[i][k]) + 1e-15);
+    }
+  }
+}
+
+TEST(WeightNeighborhoods, TClampedToN) {
+  const auto ws = uniform_weights(2, 5);
+  const auto hoods = weight_neighborhoods(ws, 50);
+  for (const auto& h : hoods) EXPECT_EQ(h.size(), 5u);
+}
+
+class WeightSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(WeightSweep, AllOnSimplex) {
+  const auto [m, n] = GetParam();
+  const auto ws = uniform_weights(m, n);
+  ASSERT_EQ(ws.size(), n);
+  for (const auto& w : ws) {
+    ASSERT_EQ(w.size(), m);
+    EXPECT_NEAR(sum(w), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WeightSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(10, 50, 100)));
+
+}  // namespace
+}  // namespace moela::moo
