@@ -19,9 +19,8 @@ using namespace moela;
 
 int main() {
   auto config = exp::paper_bench_config_from_env();
-  config.algorithms = {
-      exp::Algorithm::kMoela, exp::Algorithm::kMoelaNoMlGuide,
-      exp::Algorithm::kMoelaEaOnly, exp::Algorithm::kMoelaLocalOnly};
+  config.algorithms = {"moela", "moela-noguide", "moela-ea-only",
+                       "moela-ls-only"};
 
   util::Table table("Ablation: MOELA components (5-obj)");
   table.set_header({"App", "Variant", "final PHV", "evals to 90% best PHV"});
@@ -32,8 +31,7 @@ int main() {
     for (double phv : r.final_phv) best = std::max(best, phv);
     for (std::size_t i = 0; i < config.algorithms.size(); ++i) {
       const auto reach = moo::evaluations_to_reach(r.traces[i], 0.9 * best);
-      table.add_row({sim::app_name(app),
-                     exp::algorithm_name(config.algorithms[i]),
+      table.add_row({sim::app_name(app), r.algorithm_names[i],
                      util::fmt(r.final_phv[i], 4),
                      reach ? util::fmt(*reach, 0) : "never"});
     }

@@ -18,16 +18,14 @@ using namespace moela;
 
 int main() {
   auto config = exp::paper_bench_config_from_env();
-  config.algorithms = {exp::Algorithm::kMoela, exp::Algorithm::kMoeaD,
-                       exp::Algorithm::kMoos, exp::Algorithm::kMooStage,
-                       exp::Algorithm::kNsga2};
+  config.algorithms = {"moela", "moead", "moos", "moo-stage", "nsga2"};
 
   const auto app = sim::RodiniaApp::kBfs;
   const auto r = exp::run_app_scenario(app, 5, config);
 
   util::Table table("Anytime PHV (BFS, 5-obj, shared normalization)");
   std::vector<std::string> header{"evaluations"};
-  for (auto a : config.algorithms) header.push_back(exp::algorithm_name(a));
+  for (const auto& name : r.algorithm_names) header.push_back(name);
   table.set_header(header);
 
   // Sample each trace at the snapshot cadence of the first run.

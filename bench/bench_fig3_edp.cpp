@@ -38,8 +38,8 @@ int main() {
 
     std::vector<std::vector<exp::ScoredDesign>> populations;
     for (const auto& run : r.runs) {
-      populations.push_back(
-          exp::score_population(spec, run.final_designs, workload, arch));
+      populations.push_back(exp::score_population(
+          spec, run.designs_as<noc::NocDesign>(), workload, arch));
     }
     const auto selections = exp::select_by_edp(populations);
     const auto overheads = exp::edp_overheads(selections, /*baseline=*/0);

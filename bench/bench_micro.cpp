@@ -5,6 +5,7 @@
 // prediction (the Eval model), and the variation operators.
 #include <benchmark/benchmark.h>
 
+#include "api/any_problem.hpp"
 #include "ml/random_forest.hpp"
 #include "moo/hypervolume.hpp"
 #include "moo/scalarize.hpp"
@@ -179,6 +180,42 @@ void BM_FeatureExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// Cost of the api::AnyProblem type-erasure layer on the hottest call
+// (objective evaluation): one virtual dispatch + AnyDesign unwrap per call,
+// which must stay negligible against the evaluation itself for the
+// runtime-composition front-end to be free in practice.
+void BM_EvaluateDirect(benchmark::State& state) {
+  NocFixture f;
+  noc::NocProblem problem(f.spec, f.workload, 5);
+  const auto d = problem.random_design(f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate(d));
+  }
+}
+BENCHMARK(BM_EvaluateDirect);
+
+void BM_EvaluateTypeErased(benchmark::State& state) {
+  NocFixture f;
+  api::AnyProblem problem(noc::NocProblem(f.spec, f.workload, 5));
+  const auto d = problem.random_design(f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.evaluate(d));
+  }
+}
+BENCHMARK(BM_EvaluateTypeErased);
+
+// The cheapest concept operation, where the erasure overhead (an AnyDesign
+// heap allocation per returned design) is most visible.
+void BM_NeighborTypeErased(benchmark::State& state) {
+  NocFixture f;
+  api::AnyProblem problem(noc::NocProblem(f.spec, f.workload, 5));
+  const auto d = problem.random_design(f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.random_neighbor(d, f.rng));
+  }
+}
+BENCHMARK(BM_NeighborTypeErased);
 
 }  // namespace
 

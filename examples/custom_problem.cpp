@@ -1,5 +1,6 @@
 // Using MOELA on YOUR OWN problem: anything satisfying the MooProblem
-// concept plugs into every algorithm in the library.
+// concept plugs into every algorithm in the library — wrap it in
+// api::AnyProblem once and pick algorithms from the registry by name.
 //
 // The example problem is a small multi-objective server-rack placement toy:
 // place K services onto R racks to minimize (1) total inter-service network
@@ -9,12 +10,10 @@
 // of the library.
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
-#include "core/eval_context.hpp"
-#include "core/moela.hpp"
-#include "moo/hypervolume.hpp"
-#include "moo/pareto.hpp"
+#include "api/registry.hpp"
 #include "moo/problem.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -115,22 +114,29 @@ static_assert(moela::moo::MooProblem<RackPlacementProblem>);
 }  // namespace
 
 int main() {
-  RackPlacementProblem problem(/*services=*/40, /*racks=*/8, /*seed=*/3);
+  // Wrap the custom problem once; every algorithm in the registry can now
+  // run it without this file naming a single algorithm type.
+  moela::api::AnyProblem problem(
+      RackPlacementProblem(/*services=*/40, /*racks=*/8, /*seed=*/3));
 
-  moela::core::MoelaConfig config;
-  config.population_size = 30;
-  config.n_local = 4;
-  config.forest.num_trees = 8;
-  config.local_search.max_evaluations = 40;
+  moela::api::RunOptions options;
+  options.max_evaluations = 8000;
+  options.seed = 1;
+  options.population_size = 30;
+  options.n_local = 4;
+  options.knobs.set("moela.forest.trees", 8).set("moela.ls.max_evals", 40);
 
-  moela::core::EvalContext<RackPlacementProblem> ctx(problem, /*seed=*/1,
-                                                     /*max_evaluations=*/8000);
-  moela::core::Moela<RackPlacementProblem> moela(config);
-  const auto population = moela.run(ctx);
-
-  const auto front = ctx.archive().objective_set();
-  std::printf("Explored %zu placements; Pareto front holds %zu options.\n",
-              ctx.evaluations(), front.size());
+  // Any algorithm, same call. Compare MOELA against NSGA-II on the custom
+  // problem purely through the string-keyed registry.
+  moela::api::RunReport moela_report;
+  for (const char* key : {"moela", "nsga2"}) {
+    auto report = moela::api::registry().create(key, problem)->run(options);
+    std::printf("%-7s explored %zu placements; front holds %zu options.\n",
+                report.algorithm.c_str(), report.evaluations,
+                report.final_front.size());
+    if (std::string_view(key) == "moela") moela_report = std::move(report);
+  }
+  const auto& front = moela_report.final_front;
 
   moela::util::Table table("Sample trade-offs (all minimized)");
   table.set_header({"network cost", "peak rack power", "cooling imbalance"});

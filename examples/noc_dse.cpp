@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   util::Table quality("Search quality (shared normalization)");
   quality.set_header({"algorithm", "evaluations", "wall (s)", "PHV @ T*"});
   for (std::size_t i = 0; i < config.algorithms.size(); ++i) {
-    quality.add_row({exp::algorithm_name(config.algorithms[i]),
+    quality.add_row({r.algorithm_names[i],
                      std::to_string(r.runs[i].evaluations),
                      util::fmt(r.runs[i].seconds, 2),
                      util::fmt(r.final_phv[i], 4)});
@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
   const auto arch = sim::archetype(app);
   std::vector<std::vector<exp::ScoredDesign>> populations;
   for (const auto& run : r.runs) {
-    populations.push_back(
-        exp::score_population(spec, run.final_designs, workload, arch));
+    populations.push_back(exp::score_population(
+        spec, run.designs_as<noc::NocDesign>(), workload, arch));
   }
   const auto selections = exp::select_by_edp(populations);
 
@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < selections.size(); ++i) {
     const auto& sel = selections[i];
     const auto& design =
-        r.runs[i].final_designs[sel.chosen.index];
-    picks.add_row({exp::algorithm_name(config.algorithms[i]),
+        r.runs[i].final_designs[sel.chosen.index].as<noc::NocDesign>();
+    picks.add_row({r.algorithm_names[i],
                    util::fmt(sel.chosen.score.edp, 2),
                    util::fmt(sel.chosen.score.exec_time, 3),
                    util::fmt(sel.chosen.score.energy, 2),

@@ -1,13 +1,16 @@
 // Quickstart: explore the paper's 4x4x4 heterogeneous manycore platform
-// with MOELA on one Rodinia-like workload and print the Pareto front.
+// with MOELA on one Rodinia-like workload and print the Pareto front —
+// through the runtime-composable Optimizer API: the problem is wrapped in
+// api::AnyProblem, the algorithm comes from the string-keyed registry, and
+// swapping "moela" for "nsga2" (or any other key) is a one-string change.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build -j
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/eval_context.hpp"
-#include "core/moela.hpp"
+#include "api/problems.hpp"
+#include "api/registry.hpp"
 #include "exp/analysis.hpp"
 #include "noc/constraints.hpp"
 #include "noc/problem.hpp"
@@ -29,36 +32,39 @@ int main() {
               workload.name.c_str(), workload.traffic.total());
 
   // 3. The 5-objective design problem (traffic mean/variance, CPU latency,
-  //    energy, thermal).
-  noc::NocProblem problem(spec, workload, /*num_objectives=*/5);
+  //    energy, thermal), type-erased so any registered algorithm can run it.
+  api::AnyProblem problem(noc::NocProblem(spec, workload,
+                                          /*num_objectives=*/5));
 
-  // 4. Run MOELA with a small evaluation budget.
-  core::MoelaConfig config;
-  config.population_size = 30;
-  config.n_local = 4;
-  config.train_capacity = 2000;
-  config.forest.num_trees = 8;
-  config.forest.max_depth = 10;
-  config.forest.max_features = 24;
-  core::Moela<noc::NocProblem> moela(config);
+  // 4. Pick MOELA from the registry and run it with a small budget. The
+  //    knob bag carries the algorithm-specific tuning.
+  api::RunOptions options;
+  options.max_evaluations = 4000;
+  options.snapshot_interval = 500;
+  options.seed = 42;
+  options.population_size = 30;
+  options.n_local = 4;
+  options.knobs.set("moela.train_capacity", 2000)
+      .set("moela.forest.trees", 8)
+      .set("moela.forest.max_depth", 10)
+      .set("moela.forest.max_features", 24);
 
-  core::EvalContext<noc::NocProblem> ctx(problem, /*seed=*/42,
-                                         /*max_evaluations=*/4000,
-                                         /*snapshot_interval=*/500);
-  auto population = moela.run(ctx);
+  auto optimizer = api::registry().create("moela", problem);
+  const api::RunReport report = optimizer->run(options);
 
-  std::printf("\nRan %zu evaluations in %.2f s; archive holds %zu "
-              "non-dominated designs.\n",
-              ctx.evaluations(), ctx.elapsed_seconds(),
-              ctx.archive().size());
+  std::printf("\n%s ran %zu evaluations in %.2f s; the all-time front "
+              "holds %zu non-dominated designs.\n",
+              report.algorithm.c_str(), report.evaluations, report.seconds,
+              report.final_front.size());
 
   // 5. Verify and display a few population members.
-  util::Table table("Final population (first 10 sub-problems)");
-  table.set_header({"subproblem", "mean util", "var util", "CPU latency",
+  util::Table table("Final population (first 10 members)");
+  table.set_header({"member", "mean util", "var util", "CPU latency",
                     "energy", "thermal", "feasible"});
-  for (std::size_t i = 0; i < population.size() && i < 10; ++i) {
-    const auto& obj = population.objectives(i);
-    const bool ok = noc::is_feasible(spec, population.design(i));
+  for (std::size_t i = 0; i < report.final_designs.size() && i < 10; ++i) {
+    const auto& obj = report.final_objectives[i];
+    const bool ok = noc::is_feasible(
+        spec, report.final_designs[i].as<noc::NocDesign>());
     table.add_row({std::to_string(i), util::fmt(obj[0], 2),
                    util::fmt(obj[1], 2), util::fmt(obj[2], 1),
                    util::fmt(obj[3], 0), util::fmt(obj[4], 2),
@@ -67,7 +73,7 @@ int main() {
   table.print();
 
   // 6. Anytime quality: PHV trace of this run.
-  exp::SnapshotSet runs{ctx.snapshots()};
+  exp::SnapshotSet runs{report.snapshots};
   const auto bounds = exp::global_bounds(runs);
   const auto traces = exp::phv_traces(runs, bounds);
   std::printf("\nAnytime PHV (normalized):\n");

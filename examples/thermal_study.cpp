@@ -10,8 +10,7 @@
 #include <cstdio>
 #include <numeric>
 
-#include "core/eval_context.hpp"
-#include "core/moela.hpp"
+#include "api/registry.hpp"
 #include "noc/constraints.hpp"
 #include "noc/problem.hpp"
 #include "sim/rodinia.hpp"
@@ -90,22 +89,26 @@ int main() {
   report("random placement", ops.random_design(rng));
   report("hot-near-sink heuristic", hot_near_sink(spec, workload, rng));
 
-  // MOELA with the thermal objective in scope (5-obj).
-  noc::NocProblem problem(spec, workload, 5);
-  core::MoelaConfig config;
-  config.population_size = 30;
-  config.n_local = 4;
-  config.forest.num_trees = 6;
-  config.forest.max_features = 16;
-  core::EvalContext<noc::NocProblem> ctx(problem, 7, 5000);
-  core::Moela<noc::NocProblem> moela(config);
-  const auto pop = moela.run(ctx);
+  // MOELA with the thermal objective in scope (5-obj), composed through
+  // the runtime API.
+  api::RunOptions options;
+  options.max_evaluations = 5000;
+  options.seed = 7;
+  options.population_size = 30;
+  options.n_local = 4;
+  options.knobs.set("moela.forest.trees", 6)
+      .set("moela.forest.max_features", 16);
+  const auto run = api::registry()
+                       .create("moela", api::AnyProblem(noc::NocProblem(
+                                            spec, workload, 5)))
+                       ->run(options);
   // Coolest member of the final population.
   std::size_t best = 0;
-  for (std::size_t i = 1; i < pop.size(); ++i) {
-    if (pop.objectives(i)[4] < pop.objectives(best)[4]) best = i;
+  for (std::size_t i = 1; i < run.final_objectives.size(); ++i) {
+    if (run.final_objectives[i][4] < run.final_objectives[best][4]) best = i;
   }
-  report("MOELA (coolest of population)", pop.design(best));
+  report("MOELA (coolest of population)",
+         run.final_designs[best].as<noc::NocDesign>());
 
   table.print();
   std::printf("\nExpected: the heuristic beats random; MOELA matches or "

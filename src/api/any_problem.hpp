@@ -1,0 +1,177 @@
+// Runtime composition layer, part 1: AnyProblem, a type-erased wrapper
+// around anything satisfying the moo::MooProblem concept.
+//
+// The algorithm templates in core/ and baselines/ are compile-time generic:
+// Moela<P>, Nsga2<P>, ... over a concrete problem P. AnyProblem closes the
+// set — it satisfies MooProblem itself, so every algorithm in the library
+// can be instantiated ONCE with P = AnyProblem and then composed with any
+// problem chosen at runtime (a registry lookup, a CLI flag, an RPC field)
+// without recompiling. This is the pivot from "a research harness of
+// template instantiations" to "one front-end serving many scenarios".
+//
+// Designs are erased as AnyDesign: an immutable shared payload plus its
+// type. Every MooProblem operation returns fresh designs by value and never
+// mutates one in place, so sharing the payload between population slots is
+// safe and copies stay O(1) regardless of the underlying design size.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "moo/objective.hpp"
+#include "moo/problem.hpp"
+#include "util/rng.hpp"
+
+namespace moela::api {
+
+/// A type-erased, immutable design. Copying shares the payload (cheap); the
+/// payload itself is never mutated after construction.
+class AnyDesign {
+ public:
+  AnyDesign() = default;
+
+  /// Wraps a concrete design value.
+  template <typename D>
+  static AnyDesign wrap(D value) {
+    AnyDesign out;
+    out.value_ = std::make_shared<const D>(std::move(value));
+    out.type_ = &typeid(D);
+    return out;
+  }
+
+  bool has_value() const { return value_ != nullptr; }
+  const std::type_info& type() const {
+    return type_ ? *type_ : typeid(void);
+  }
+
+  /// Checked access to the wrapped design. Throws std::runtime_error when
+  /// the stored type is not `D` (e.g. a design from a different problem).
+  template <typename D>
+  const D& as() const {
+    if (!value_ || *type_ != typeid(D)) {
+      throw std::runtime_error(
+          std::string("AnyDesign: stored type is ") +
+          (type_ ? type_->name() : "<empty>") + ", requested " +
+          typeid(D).name());
+    }
+    return *static_cast<const D*>(value_.get());
+  }
+
+ private:
+  std::shared_ptr<const void> value_;
+  const std::type_info* type_ = nullptr;
+};
+
+/// Type-erased problem: wraps any MooProblem behind a stable virtual
+/// interface and satisfies MooProblem itself (Design = AnyDesign).
+/// Copying shares the underlying problem (problems are immutable during a
+/// run — every operation in the concept is const).
+class AnyProblem {
+ public:
+  using Design = AnyDesign;
+
+  AnyProblem() = default;
+
+  template <typename P>
+    requires moo::MooProblem<std::decay_t<P>> &&
+             (!std::same_as<std::decay_t<P>, AnyProblem>)
+  explicit AnyProblem(P problem)
+      : model_(std::make_shared<const Model<std::decay_t<P>>>(
+            std::move(problem))) {}
+
+  bool has_value() const { return model_ != nullptr; }
+
+  std::size_t num_objectives() const { return model().num_objectives(); }
+  moo::ObjectiveVector evaluate(const Design& d) const {
+    return model().evaluate(d);
+  }
+  Design random_design(util::Rng& rng) const {
+    return model().random_design(rng);
+  }
+  Design random_neighbor(const Design& d, util::Rng& rng) const {
+    return model().random_neighbor(d, rng);
+  }
+  Design crossover(const Design& a, const Design& b, util::Rng& rng) const {
+    return model().crossover(a, b, rng);
+  }
+  Design mutate(const Design& d, util::Rng& rng) const {
+    return model().mutate(d, rng);
+  }
+  std::vector<double> features(const Design& d) const {
+    return model().features(d);
+  }
+  std::size_t num_features() const { return model().num_features(); }
+
+  /// Access to the wrapped concrete problem; nullptr when the stored type
+  /// is not `P`.
+  template <typename P>
+  const P* target() const {
+    auto* m = dynamic_cast<const Model<P>*>(model_.get());
+    return m ? &m->problem : nullptr;
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual std::size_t num_objectives() const = 0;
+    virtual moo::ObjectiveVector evaluate(const AnyDesign&) const = 0;
+    virtual AnyDesign random_design(util::Rng&) const = 0;
+    virtual AnyDesign random_neighbor(const AnyDesign&, util::Rng&) const = 0;
+    virtual AnyDesign crossover(const AnyDesign&, const AnyDesign&,
+                                util::Rng&) const = 0;
+    virtual AnyDesign mutate(const AnyDesign&, util::Rng&) const = 0;
+    virtual std::vector<double> features(const AnyDesign&) const = 0;
+    virtual std::size_t num_features() const = 0;
+  };
+
+  template <moo::MooProblem P>
+  struct Model final : Concept {
+    explicit Model(P p) : problem(std::move(p)) {}
+    using D = typename P::Design;
+
+    std::size_t num_objectives() const override {
+      return problem.num_objectives();
+    }
+    moo::ObjectiveVector evaluate(const AnyDesign& d) const override {
+      return problem.evaluate(d.as<D>());
+    }
+    AnyDesign random_design(util::Rng& rng) const override {
+      return AnyDesign::wrap<D>(problem.random_design(rng));
+    }
+    AnyDesign random_neighbor(const AnyDesign& d,
+                              util::Rng& rng) const override {
+      return AnyDesign::wrap<D>(problem.random_neighbor(d.as<D>(), rng));
+    }
+    AnyDesign crossover(const AnyDesign& a, const AnyDesign& b,
+                        util::Rng& rng) const override {
+      return AnyDesign::wrap<D>(problem.crossover(a.as<D>(), b.as<D>(), rng));
+    }
+    AnyDesign mutate(const AnyDesign& d, util::Rng& rng) const override {
+      return AnyDesign::wrap<D>(problem.mutate(d.as<D>(), rng));
+    }
+    std::vector<double> features(const AnyDesign& d) const override {
+      return problem.features(d.as<D>());
+    }
+    std::size_t num_features() const override {
+      return problem.num_features();
+    }
+
+    P problem;
+  };
+
+  const Concept& model() const {
+    if (!model_) throw std::runtime_error("AnyProblem: empty");
+    return *model_;
+  }
+
+  std::shared_ptr<const Concept> model_;
+};
+
+static_assert(moo::MooProblem<AnyProblem>,
+              "AnyProblem must satisfy the concept it erases");
+
+}  // namespace moela::api

@@ -1,0 +1,36 @@
+#include "api/optimizer.hpp"
+
+#include <cstdlib>
+
+namespace moela::api {
+
+bool KnobBag::parse_assignment(const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string name = assignment.substr(0, eq);
+  const std::string value = assignment.substr(eq + 1);
+  if (value.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  set(name, parsed);
+  return true;
+}
+
+RunReport Optimizer::run(const RunOptions& options) {
+  core::EvalContext<AnyProblem> ctx(problem_, options.seed,
+                                    options.max_evaluations,
+                                    options.snapshot_interval,
+                                    options.max_seconds);
+  RunReport report;
+  report.algorithm = name();
+  run_body(ctx, options, report);
+  ctx.take_snapshot();  // final state
+  report.snapshots = ctx.snapshots();
+  report.final_front = ctx.archive().objective_set();
+  report.evaluations = ctx.evaluations();
+  report.seconds = ctx.elapsed_seconds();
+  return report;
+}
+
+}  // namespace moela::api

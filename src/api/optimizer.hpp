@@ -1,0 +1,143 @@
+// Runtime composition layer, part 2: the uniform optimizer front-end.
+//
+// Every algorithm in the library — MOELA, its three ablation variants, and
+// the four baselines — is driven through one abstract interface:
+//
+//   auto opt = api::registry().create("moela", api::AnyProblem(problem));
+//   api::RunReport report = opt->run(options);
+//
+// RunOptions carries the budgets every algorithm shares (the paper's
+// fairness contract: same evaluation cap, same wall clock, same population
+// sizing, same seed) plus a string-keyed knob bag for per-algorithm
+// parameters, so new knobs never change this API. RunReport is the uniform
+// result: archive snapshots for anytime-PHV traces, the all-time Pareto
+// front, and the final population (type-erased designs + objectives) for
+// the Fig. 3 design selection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/any_problem.hpp"
+#include "core/eval_context.hpp"
+#include "moo/objective.hpp"
+
+namespace moela::api {
+
+/// String-keyed per-algorithm parameters ("moela.delta", "moos.temperature",
+/// ...). Doubles cover every knob in the library: counts, probabilities and
+/// switches (0/1). Unknown keys are ignored by optimizers, so one bag can
+/// configure several algorithms at once.
+class KnobBag {
+ public:
+  KnobBag& set(std::string name, double value) {
+    values_[std::move(name)] = value;
+    return *this;
+  }
+
+  double get_or(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::size_t get_or(const std::string& name, std::size_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    // A negative value cannot mean anything for a count knob, and casting
+    // it to size_t would be undefined behavior — fall back instead.
+    if (it->second < 0.0) return fallback;
+    return static_cast<std::size_t>(it->second);
+  }
+  bool get_or(const std::string& name, bool fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second != 0.0;
+  }
+
+  bool contains(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+  const std::map<std::string, double>& values() const { return values_; }
+
+  /// Parses "name=value" (the CLI --knob syntax). Returns false on a
+  /// malformed assignment or a non-numeric value.
+  bool parse_assignment(const std::string& assignment);
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Budgets and sizing shared by every algorithm, plus the knob bag.
+struct RunOptions {
+  /// Objective-evaluation budget — the experiment time axis.
+  std::size_t max_evaluations = 20000;
+  /// Wall-clock budget in seconds; 0 disables it. Whichever budget binds
+  /// first stops the run (the paper's T_stop is wall-clock).
+  double max_seconds = 0.0;
+  /// Archive snapshot cadence in evaluations (0 disables the trace).
+  std::size_t snapshot_interval = 500;
+  std::uint64_t seed = 1;
+  /// Population / archive size shared by every algorithm (fairness).
+  std::size_t population_size = 50;
+  /// Local searches per iteration for the LS-based methods (n_local).
+  std::size_t n_local = 5;
+  /// Per-algorithm parameters; see each adapter in api/optimizers.cpp for
+  /// its recognized keys.
+  KnobBag knobs;
+};
+
+/// Uniform result of one optimizer run.
+struct RunReport {
+  /// Display name of the algorithm that produced this report ("MOELA",
+  /// "NSGA-II", ...).
+  std::string algorithm;
+  std::vector<core::ArchiveSnapshot> snapshots;
+  /// The all-time Pareto front of the run (objective vectors).
+  std::vector<moo::ObjectiveVector> final_front;
+  /// Final population/archive: type-erased designs + their objectives.
+  std::vector<AnyDesign> final_designs;
+  std::vector<moo::ObjectiveVector> final_objectives;
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+
+  /// Unwraps the final designs to their concrete type (throws when the
+  /// report came from a different problem type).
+  template <typename D>
+  std::vector<D> designs_as() const {
+    std::vector<D> out;
+    out.reserve(final_designs.size());
+    for (const auto& d : final_designs) out.push_back(d.as<D>());
+    return out;
+  }
+};
+
+/// Abstract optimizer: one problem bound at construction, one entry point.
+/// Implementations live in api/optimizers.cpp and adapt the algorithm
+/// templates (instantiated with P = AnyProblem) to this interface.
+class Optimizer {
+ public:
+  explicit Optimizer(AnyProblem problem) : problem_(std::move(problem)) {}
+  virtual ~Optimizer() = default;
+
+  /// Display name ("MOELA", "MOEA/D", ...).
+  virtual std::string name() const = 0;
+
+  /// Runs the algorithm under `options` and returns the uniform report.
+  /// Deterministic per (problem, options) when max_seconds is 0.
+  RunReport run(const RunOptions& options);
+
+  const AnyProblem& problem() const { return problem_; }
+
+ protected:
+  /// Algorithm body: runs against the prepared context and fills
+  /// `report.final_designs` / `report.final_objectives`. Snapshots, the
+  /// final front and the counters are collected by run().
+  virtual void run_body(core::EvalContext<AnyProblem>& ctx,
+                        const RunOptions& options, RunReport& report) = 0;
+
+ private:
+  AnyProblem problem_;
+};
+
+}  // namespace moela::api

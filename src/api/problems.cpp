@@ -1,0 +1,88 @@
+#include "api/problems.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
+#include "noc/problem.hpp"
+#include "problems/dtlz.hpp"
+#include "problems/knapsack.hpp"
+#include "problems/zdt.hpp"
+#include "sim/rodinia.hpp"
+
+namespace moela::api {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+sim::RodiniaApp parse_app(const std::string& tag) {
+  const std::string want = lower(tag);
+  for (sim::RodiniaApp app : sim::all_rodinia_apps()) {
+    if (lower(sim::app_name(app)) == want) return app;
+  }
+  throw std::invalid_argument("make_problem: unknown NoC app '" + tag + "'");
+}
+
+std::size_t objectives_or(const ProblemOptions& o, std::size_t fallback) {
+  return o.num_objectives == 0 ? fallback : o.num_objectives;
+}
+
+std::size_t variables_or(const ProblemOptions& o, std::size_t fallback) {
+  return o.num_variables == 0 ? fallback : o.num_variables;
+}
+
+}  // namespace
+
+std::vector<std::string> problem_names() {
+  return {"zdt1", "zdt2", "zdt3", "dtlz1", "dtlz2", "knapsack", "noc"};
+}
+
+AnyProblem make_problem(const std::string& name,
+                        const ProblemOptions& options) {
+  const std::string key = lower(name);
+  if (key == "zdt1" || key == "zdt2" || key == "zdt3") {
+    if (options.num_objectives != 0 && options.num_objectives != 2) {
+      throw std::invalid_argument("make_problem: ZDT problems are 2-objective");
+    }
+    const problems::ZdtVariant variant =
+        key == "zdt1"   ? problems::ZdtVariant::kZdt1
+        : key == "zdt2" ? problems::ZdtVariant::kZdt2
+                        : problems::ZdtVariant::kZdt3;
+    return AnyProblem(problems::Zdt(variant, variables_or(options, 30)));
+  }
+  if (key == "dtlz1") {
+    return AnyProblem(problems::Dtlz1(objectives_or(options, 3),
+                                      variables_or(options, 5)));
+  }
+  if (key == "dtlz2") {
+    return AnyProblem(problems::Dtlz2(objectives_or(options, 3),
+                                      variables_or(options, 10)));
+  }
+  if (key == "knapsack") {
+    return AnyProblem(problems::MultiObjectiveKnapsack(
+        variables_or(options, 100), objectives_or(options, 2), options.seed));
+  }
+  if (key == "noc") {
+    noc::PlatformSpec spec = options.small_platform
+                                 ? noc::PlatformSpec::small_3x3x3()
+                                 : noc::PlatformSpec::paper_4x4x4();
+    noc::Workload workload =
+        sim::make_workload(spec, parse_app(options.app), options.seed);
+    return AnyProblem(noc::NocProblem(std::move(spec), std::move(workload),
+                                      objectives_or(options, 5)));
+  }
+  std::string known;
+  for (const auto& n : problem_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::out_of_range("make_problem: unknown problem '" + name +
+                          "' (known: " + known + ")");
+}
+
+}  // namespace moela::api

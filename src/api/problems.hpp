@@ -1,0 +1,42 @@
+// String-keyed problem construction for the runtime-composition front-end:
+// the problem-side counterpart of the optimizer registry. Used by moela_cli
+// and anything else that picks a workload without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/any_problem.hpp"
+
+namespace moela::api {
+
+/// Instance parameters shared by the built-in problems; each problem reads
+/// the subset that applies to it.
+struct ProblemOptions {
+  /// 0 = the problem's default (ZDT is fixed at 2; DTLZ defaults to 3,
+  /// knapsack to 2, the NoC design problem to 5).
+  std::size_t num_objectives = 0;
+  /// 0 = the problem's default. ZDT: decision variables (30). DTLZ:
+  /// distance variables k (5 for DTLZ1, 10 for DTLZ2). Knapsack: items
+  /// (100). Ignored by the NoC problem.
+  std::size_t num_variables = 0;
+  /// Instance seed (knapsack profits/weights, NoC workload synthesis).
+  std::uint64_t seed = 1;
+  /// NoC only: Rodinia-like application tag ("BP", "BFS", "GAU", "HOT",
+  /// "PF", "SC", "SRAD"; case-insensitive).
+  std::string app = "BFS";
+  /// NoC only: 3x3x3 platform instead of the paper's 4x4x4.
+  bool small_platform = false;
+};
+
+/// Names accepted by make_problem(): zdt1, zdt2, zdt3, dtlz1, dtlz2,
+/// knapsack, noc.
+std::vector<std::string> problem_names();
+
+/// Builds the named problem. Throws std::out_of_range for an unknown name
+/// and std::invalid_argument for invalid options.
+AnyProblem make_problem(const std::string& name,
+                        const ProblemOptions& options = {});
+
+}  // namespace moela::api

@@ -1,0 +1,57 @@
+#include "api/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace moela::api {
+
+namespace detail {
+// Defined in api/optimizers.cpp. Called from registry() so the linker can
+// never drop the built-in registrations from a static-library build (the
+// classic self-registration pitfall).
+void register_builtin_optimizers(OptimizerRegistry& registry);
+}  // namespace detail
+
+void OptimizerRegistry::add(const std::string& name, Factory factory) {
+  if (!factory) {
+    throw std::invalid_argument("OptimizerRegistry: null factory for '" +
+                                name + "'");
+  }
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("OptimizerRegistry: duplicate key '" + name +
+                                "'");
+  }
+}
+
+std::vector<std::string> OptimizerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;  // std::map iterates in sorted key order
+}
+
+std::unique_ptr<Optimizer> OptimizerRegistry::create(
+    const std::string& name, AnyProblem problem) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("OptimizerRegistry: unknown optimizer '" + name +
+                            "' (registered: " + known + ")");
+  }
+  return it->second(std::move(problem));
+}
+
+OptimizerRegistry& registry() {
+  static OptimizerRegistry* instance = [] {
+    auto* r = new OptimizerRegistry();
+    detail::register_builtin_optimizers(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace moela::api

@@ -1,0 +1,55 @@
+// Runtime composition layer, part 3: the string-keyed optimizer registry.
+//
+// Algorithms register a factory under a stable key ("moela", "nsga2", ...)
+// and callers compose algorithm x problem at runtime:
+//
+//   for (const auto& name : api::registry().names()) {
+//     auto report = api::registry().create(name, problem)->run(options);
+//   }
+//
+// The library's eight algorithms (MOELA + 3 ablation variants + 4
+// baselines) self-register from api/optimizers.cpp on first registry
+// access; applications can add their own optimizers with add().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/any_problem.hpp"
+#include "api/optimizer.hpp"
+
+namespace moela::api {
+
+class OptimizerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Optimizer>(AnyProblem)>;
+
+  /// Registers a factory under `name`. Throws std::invalid_argument when
+  /// the key is already taken (keys are unique, lookup must be unambiguous).
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const {
+    return factories_.count(name) > 0;
+  }
+
+  /// Registered keys, sorted.
+  std::vector<std::string> names() const;
+
+  /// Instantiates the optimizer registered under `name`, bound to
+  /// `problem`. Throws std::out_of_range for an unknown name (the message
+  /// lists the registered keys).
+  std::unique_ptr<Optimizer> create(const std::string& name,
+                                    AnyProblem problem) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// The process-wide registry, with the library's built-in algorithms
+/// already registered.
+OptimizerRegistry& registry();
+
+}  // namespace moela::api

@@ -17,6 +17,7 @@
 #include "moo/objective.hpp"
 #include "moo/problem.hpp"
 #include "moo/scalarize.hpp"
+#include "moo/weights.hpp"
 
 namespace moela::core {
 

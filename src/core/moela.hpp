@@ -115,6 +115,14 @@ class Moela {
         select_starts(ctx, pop, eval_model, gen);
 
     const moo::ObjectiveVector scale = pop.objective_scale();
+    // Index pool for the population updates below, built once per stage and
+    // reshuffled in place per visit. Reshuffling the previous permutation is
+    // still uniformly random and draws the same RNG stream, but yields a
+    // different (equally valid) permutation sequence than rebuilding from
+    // iota — seeded trajectories changed when this O(N) per-visit
+    // allocation was hoisted out of the hot path.
+    std::vector<std::size_t> pool(pop.size());
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
     for (std::size_t s : starts) {
       if (ctx.exhausted()) break;
       LocalSearchResult<P> result =
@@ -145,8 +153,6 @@ class Moela {
       // trajectory cannot flood the population).
       for (std::size_t v = 1; v < result.trajectory.size(); ++v) {
         const auto& visit = result.trajectory[v];
-        std::vector<std::size_t> pool(pop.size());
-        std::iota(pool.begin(), pool.end(), std::size_t{0});
         ctx.rng().shuffle(pool);
         pop.update(visit.design, visit.objectives, pool,
                    /*max_replacements=*/1);

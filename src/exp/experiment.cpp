@@ -1,6 +1,18 @@
 #include "exp/experiment.hpp"
 
+#include <array>
+
 namespace moela::exp {
+
+namespace {
+
+constexpr std::array<Algorithm, 8> kAllAlgorithms = {
+    Algorithm::kMoela,          Algorithm::kMoeaD,
+    Algorithm::kMoos,           Algorithm::kMooStage,
+    Algorithm::kNsga2,          Algorithm::kMoelaNoMlGuide,
+    Algorithm::kMoelaEaOnly,    Algorithm::kMoelaLocalOnly};
+
+}  // namespace
 
 std::string algorithm_name(Algorithm a) {
   switch (a) {
@@ -22,6 +34,100 @@ std::string algorithm_name(Algorithm a) {
       return "MOELA-LS-only";
   }
   return "unknown";
+}
+
+std::string algorithm_key(Algorithm a) {
+  switch (a) {
+    case Algorithm::kMoela:
+      return "moela";
+    case Algorithm::kMoeaD:
+      return "moead";
+    case Algorithm::kMoos:
+      return "moos";
+    case Algorithm::kMooStage:
+      return "moo-stage";
+    case Algorithm::kNsga2:
+      return "nsga2";
+    case Algorithm::kMoelaNoMlGuide:
+      return "moela-noguide";
+    case Algorithm::kMoelaEaOnly:
+      return "moela-ea-only";
+    case Algorithm::kMoelaLocalOnly:
+      return "moela-ls-only";
+  }
+  return "unknown";
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view name) {
+  for (Algorithm a : kAllAlgorithms) {
+    if (name == algorithm_name(a) || name == algorithm_key(a)) return a;
+  }
+  return std::nullopt;
+}
+
+api::RunOptions to_run_options(const RunConfig& config) {
+  api::RunOptions options;
+  options.max_evaluations = config.max_evaluations;
+  options.max_seconds = config.max_seconds;
+  options.snapshot_interval = config.snapshot_interval;
+  options.seed = config.seed;
+  options.population_size = config.population_size;
+  options.n_local = config.n_local;
+
+  auto forest_knobs = [&](const std::string& prefix,
+                          const ml::ForestConfig& f) {
+    options.knobs.set(prefix + ".trees", static_cast<double>(f.num_trees))
+        .set(prefix + ".max_features", static_cast<double>(f.max_features))
+        .set(prefix + ".max_depth", static_cast<double>(f.max_depth))
+        .set(prefix + ".min_samples_leaf",
+             static_cast<double>(f.min_samples_leaf))
+        .set(prefix + ".min_samples_split",
+             static_cast<double>(f.min_samples_split))
+        .set(prefix + ".subsample", f.subsample);
+  };
+  auto search_knobs = [&](const std::string& prefix,
+                          const core::LocalSearchConfig& s) {
+    options.knobs.set(prefix + ".patience", static_cast<double>(s.patience))
+        .set(prefix + ".max_steps", static_cast<double>(s.max_steps))
+        .set(prefix + ".max_evals", static_cast<double>(s.max_evaluations));
+  };
+
+  const core::MoelaConfig& m = config.moela;
+  options.knobs.set("moela.iter_early", static_cast<double>(m.iter_early))
+      .set("moela.delta", m.delta)
+      .set("moela.neighborhood_size",
+           static_cast<double>(m.neighborhood_size))
+      .set("moela.max_generations", static_cast<double>(m.max_generations))
+      .set("moela.train_capacity", static_cast<double>(m.train_capacity))
+      .set("moela.train_interval", static_cast<double>(m.train_interval))
+      .set("moela.max_replacements", static_cast<double>(m.max_replacements))
+      .set("moela.guide_mode",
+           m.guide_mode == core::GuideMode::kImprovement ? 1.0 : 0.0)
+      .set("moela.use_ml_guide", m.use_ml_guide ? 1.0 : 0.0)
+      .set("moela.use_local_search", m.use_local_search ? 1.0 : 0.0)
+      .set("moela.use_ea", m.use_ea ? 1.0 : 0.0);
+  search_knobs("moela.ls", m.local_search);
+  forest_knobs("moela.forest", m.forest);
+
+  const baselines::MoosConfig& s = config.moos;
+  options.knobs
+      .set("moos.max_iterations", static_cast<double>(s.max_iterations))
+      .set("moos.temperature", s.temperature)
+      .set("moos.gain_ema", s.gain_ema);
+  search_knobs("moos.ls", s.search);
+
+  const baselines::MooStageConfig& st = config.stage;
+  options.knobs
+      .set("stage.max_iterations", static_cast<double>(st.max_iterations))
+      .set("stage.iter_early", static_cast<double>(st.iter_early))
+      .set("stage.meta_candidates", static_cast<double>(st.meta_candidates))
+      .set("stage.train_capacity", static_cast<double>(st.train_capacity))
+      .set("stage.ls.max_steps", static_cast<double>(st.search.max_steps))
+      .set("stage.ls.neighbors_per_step",
+           static_cast<double>(st.search.neighbors_per_step));
+  forest_knobs("stage.forest", st.forest);
+
+  return options;
 }
 
 }  // namespace moela::exp

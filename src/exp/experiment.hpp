@@ -1,18 +1,31 @@
-// Experiment runner: executes one algorithm on one problem under a fixed
-// evaluation budget and returns everything the Sec. V metrics need —
-// archive snapshots (for anytime-PHV traces), the final population designs
-// and objectives (for the Fig. 3 EDP selection), and counters.
+// DEPRECATED SHIM over the runtime-composable API in src/api/.
+//
+// The enum-dispatched run_algorithm() below predates the type-erased
+// Optimizer front-end (api/optimizer.hpp + api/registry.hpp) and is kept
+// as a thin compatibility layer: it maps the Algorithm enum to a registry
+// key, the typed RunConfig to RunOptions knobs, and the uniform RunReport
+// back to the typed RunResult<P>. New code should use the registry
+// directly:
+//
+//   api::registry().create("moela", api::AnyProblem(problem))->run(options)
+//
+// The shim and the registry path produce identical results for the same
+// seed (tested in tests/test_api.cpp).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
-#include "baselines/moead.hpp"
+#include "api/any_problem.hpp"
+#include "api/optimizer.hpp"
+#include "api/registry.hpp"
 #include "baselines/moo_stage.hpp"
 #include "baselines/moos.hpp"
-#include "baselines/nsga2.hpp"
 #include "core/eval_context.hpp"
 #include "core/moela.hpp"
 #include "moo/problem.hpp"
@@ -31,7 +44,17 @@ enum class Algorithm {
   kMoelaLocalOnly,     // no EA stage
 };
 
+/// Display name ("MOELA", "MOEA/D", ...). Matches Optimizer::name().
 std::string algorithm_name(Algorithm a);
+
+/// Registry key ("moela", "moead", ...) of the same algorithm in
+/// api::registry().
+std::string algorithm_key(Algorithm a);
+
+/// Inverse of algorithm_name(); also accepts the registry key. Returns
+/// nullopt for an unknown name (round-trip tested so the enum and the
+/// names cannot drift silently).
+std::optional<Algorithm> parse_algorithm(std::string_view name);
 
 struct RunConfig {
   std::size_t max_evaluations = 20000;
@@ -49,6 +72,12 @@ struct RunConfig {
   baselines::MooStageConfig stage;  // further MOO-STAGE knobs
 };
 
+/// Maps the typed RunConfig onto the string-keyed RunOptions the Optimizer
+/// API consumes. The mapping is complete: every RunConfig field an
+/// algorithm used under the old enum dispatch lands in a knob the matching
+/// adapter reads.
+api::RunOptions to_run_options(const RunConfig& config);
+
 template <moo::MooProblem P>
 struct RunResult {
   Algorithm algorithm{};
@@ -62,92 +91,29 @@ struct RunResult {
   double seconds = 0.0;
 };
 
-/// Runs `algorithm` on `problem`. All algorithms receive the same budget,
-/// population sizing, and a seed derived from config.seed.
+/// Runs `algorithm` on `problem` through the optimizer registry. All
+/// algorithms receive the same budget, population sizing, and a seed
+/// derived from config.seed. DEPRECATED: use api::registry() directly.
 template <moo::MooProblem P>
 RunResult<P> run_algorithm(Algorithm algorithm, const P& problem,
                            const RunConfig& config) {
-  core::EvalContext<P> ctx(problem, config.seed, config.max_evaluations,
-                           config.snapshot_interval, config.max_seconds);
+  api::RunReport report =
+      api::registry()
+          .create(algorithm_key(algorithm), api::AnyProblem(problem))
+          ->run(to_run_options(config));
+
   RunResult<P> result;
   result.algorithm = algorithm;
-
-  auto from_decomposition = [&](const core::DecompositionPopulation<P>& pop) {
-    for (std::size_t i = 0; i < pop.size(); ++i) {
-      result.final_designs.push_back(pop.design(i));
-      result.final_objectives.push_back(pop.objectives(i));
-    }
-  };
-
-  switch (algorithm) {
-    case Algorithm::kMoela:
-    case Algorithm::kMoelaNoMlGuide:
-    case Algorithm::kMoelaEaOnly:
-    case Algorithm::kMoelaLocalOnly: {
-      core::MoelaConfig mc = config.moela;
-      mc.population_size = config.population_size;
-      mc.n_local = config.n_local;
-      if (algorithm == Algorithm::kMoelaNoMlGuide) mc.use_ml_guide = false;
-      if (algorithm == Algorithm::kMoelaEaOnly) mc.use_local_search = false;
-      if (algorithm == Algorithm::kMoelaLocalOnly) mc.use_ea = false;
-      core::Moela<P> algo(mc);
-      from_decomposition(algo.run(ctx));
-      break;
-    }
-    case Algorithm::kMoeaD: {
-      baselines::MoeaDConfig mc;
-      mc.population_size = config.population_size;
-      core::MoelaConfig defaults;
-      mc.delta = defaults.delta;
-      baselines::MoeaD<P> algo(mc);
-      from_decomposition(algo.run(ctx));
-      break;
-    }
-    case Algorithm::kMoos: {
-      baselines::MoosConfig mc = config.moos;
-      mc.archive_capacity = config.population_size;
-      mc.initial_designs = config.population_size;
-      mc.num_directions = config.population_size;
-      mc.searches_per_iteration = config.n_local;
-      baselines::Moos<P> algo(mc);
-      const auto archive = algo.run(ctx);
-      for (const auto& e : archive.entries()) {
-        result.final_designs.push_back(e.design);
-        result.final_objectives.push_back(e.objectives);
-      }
-      break;
-    }
-    case Algorithm::kMooStage: {
-      baselines::MooStageConfig mc = config.stage;
-      mc.archive_capacity = config.population_size;
-      mc.initial_designs = config.population_size;
-      mc.searches_per_iteration = config.n_local;
-      baselines::MooStage<P> algo(mc);
-      const auto archive = algo.run(ctx);
-      for (const auto& e : archive.entries()) {
-        result.final_designs.push_back(e.design);
-        result.final_objectives.push_back(e.objectives);
-      }
-      break;
-    }
-    case Algorithm::kNsga2: {
-      baselines::Nsga2Config mc;
-      mc.population_size = config.population_size;
-      baselines::Nsga2<P> algo(mc);
-      const auto pop = algo.run(ctx);
-      for (const auto& ind : pop) {
-        result.final_designs.push_back(ind.design);
-        result.final_objectives.push_back(ind.objectives);
-      }
-      break;
-    }
+  result.snapshots = std::move(report.snapshots);
+  result.final_front = std::move(report.final_front);
+  if constexpr (std::same_as<P, api::AnyProblem>) {
+    result.final_designs = std::move(report.final_designs);
+  } else {
+    result.final_designs = report.designs_as<typename P::Design>();
   }
-
-  ctx.take_snapshot();  // final state
-  result.snapshots = ctx.snapshots();
-  result.final_front = ctx.archive().objective_set();
-  result.evaluations = ctx.evaluations();
-  result.seconds = ctx.elapsed_seconds();
+  result.final_objectives = std::move(report.final_objectives);
+  result.evaluations = report.evaluations;
+  result.seconds = report.seconds;
   return result;
 }
 

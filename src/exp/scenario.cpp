@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "api/registry.hpp"
 #include "moo/metrics.hpp"
 #include "util/log.hpp"
 
@@ -74,6 +75,10 @@ RunConfig tuned_run_config(const PaperBenchConfig& config) {
   return run;
 }
 
+api::RunOptions tuned_run_options(const PaperBenchConfig& config) {
+  return to_run_options(tuned_run_config(config));
+}
+
 noc::PlatformSpec bench_platform(const PaperBenchConfig& config) {
   return config.small_platform ? noc::PlatformSpec::small_3x3x3()
                                : noc::PlatformSpec::paper_4x4x4();
@@ -88,15 +93,17 @@ AppScenarioResult run_app_scenario(sim::RodiniaApp app,
 
   noc::PlatformSpec spec = bench_platform(config);
   noc::Workload workload = sim::make_workload(spec, app, config.seed);
-  noc::NocProblem problem(std::move(spec), std::move(workload),
-                          num_objectives);
-  const RunConfig run_config = tuned_run_config(config);
+  const api::AnyProblem problem(noc::NocProblem(
+      std::move(spec), std::move(workload), num_objectives));
+  const api::RunOptions options = tuned_run_options(config);
 
-  for (Algorithm algo : config.algorithms) {
+  for (const std::string& key : config.algorithms) {
+    auto optimizer = api::registry().create(key, problem);
     util::log_info() << sim::app_name(app) << " " << num_objectives
-                     << "-obj: running " << algorithm_name(algo) << " ("
-                     << run_config.max_evaluations << " evals)";
-    result.runs.push_back(run_algorithm(algo, problem, run_config));
+                     << "-obj: running " << optimizer->name() << " ("
+                     << options.max_evaluations << " evals)";
+    result.algorithm_names.push_back(optimizer->name());
+    result.runs.push_back(optimizer->run(options));
   }
 
   SnapshotSet snapshots;

@@ -1,6 +1,8 @@
 // Paper-scenario runner shared by the bench binaries: executes a set of
 // algorithms on one (application, objective-count) instance of the Sec. V
-// setup and derives the shared-normalization PHV traces.
+// setup and derives the shared-normalization PHV traces. Algorithms are
+// selected by registry key and run through the uniform Optimizer API
+// (src/api/), so a bench compares any composition without recompiling.
 //
 // Wall-clock knobs come from the environment so CI and laptops can scale
 // the experiments without recompiling:
@@ -11,8 +13,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "api/optimizer.hpp"
 #include "exp/analysis.hpp"
 #include "exp/experiment.hpp"
 #include "noc/problem.hpp"
@@ -29,27 +33,34 @@ struct PaperBenchConfig {
   std::size_t snapshot_interval = 250;
   std::uint64_t seed = 1;
   bool small_platform = false;
-  std::vector<Algorithm> algorithms = {Algorithm::kMoela, Algorithm::kMoeaD,
-                                       Algorithm::kMoos};
+  /// Registry keys of the algorithms to compare (api::registry()).
+  std::vector<std::string> algorithms = {"moela", "moead", "moos"};
 };
 
 /// Reads the MOELA_BENCH_* environment overrides.
 PaperBenchConfig paper_bench_config_from_env();
 
 /// The per-run configuration used by every paper bench (forest sizing etc.
-/// tuned for the NoC feature width).
+/// tuned for the NoC feature width). Kept in the typed RunConfig form so
+/// tests can assert the paper's parameters; to_run_options() turns it into
+/// the knob bag the Optimizer API consumes.
 RunConfig tuned_run_config(const PaperBenchConfig& config);
+
+/// tuned_run_config() mapped onto the Optimizer API.
+api::RunOptions tuned_run_options(const PaperBenchConfig& config);
 
 /// The platform the benches run on (paper 4x4x4 or the reduced 3x3x3).
 noc::PlatformSpec bench_platform(const PaperBenchConfig& config);
 
-/// One (app, m) cell of the evaluation: per-algorithm results plus the
+/// One (app, m) cell of the evaluation: per-algorithm reports plus the
 /// shared-normalization anytime-PHV traces (index-aligned with
 /// config.algorithms).
 struct AppScenarioResult {
   sim::RodiniaApp app;
   std::size_t num_objectives = 0;
-  std::vector<RunResult<noc::NocProblem>> runs;
+  /// Display names index-aligned with `runs` (RunReport::algorithm).
+  std::vector<std::string> algorithm_names;
+  std::vector<api::RunReport> runs;
   ObjectiveBounds bounds;
   std::vector<moo::ConvergenceTrace> traces;
   /// PHV per algorithm at the common wall-clock stop time (T_stop = the

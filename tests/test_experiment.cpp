@@ -71,6 +71,38 @@ TEST(Runner, AlgorithmNamesAreUnique) {
   EXPECT_EQ(names.size(), 8u);
 }
 
+TEST(Runner, ParseAlgorithmRoundTripsEveryEnumerator) {
+  for (Algorithm a :
+       {Algorithm::kMoela, Algorithm::kMoeaD, Algorithm::kMoos,
+        Algorithm::kMooStage, Algorithm::kNsga2, Algorithm::kMoelaNoMlGuide,
+        Algorithm::kMoelaEaOnly, Algorithm::kMoelaLocalOnly}) {
+    // Display name and registry key both parse back to the enumerator, so
+    // the enum and its names cannot drift silently.
+    const auto from_name = parse_algorithm(algorithm_name(a));
+    ASSERT_TRUE(from_name.has_value()) << algorithm_name(a);
+    EXPECT_EQ(*from_name, a);
+    const auto from_key = parse_algorithm(algorithm_key(a));
+    ASSERT_TRUE(from_key.has_value()) << algorithm_key(a);
+    EXPECT_EQ(*from_key, a);
+  }
+}
+
+TEST(Runner, ParseAlgorithmRejectsUnknownNames) {
+  EXPECT_FALSE(parse_algorithm("").has_value());
+  EXPECT_FALSE(parse_algorithm("moela2").has_value());
+  EXPECT_FALSE(parse_algorithm("MOELA ").has_value());
+}
+
+TEST(Runner, EveryAlgorithmKeyIsRegistered) {
+  for (Algorithm a :
+       {Algorithm::kMoela, Algorithm::kMoeaD, Algorithm::kMoos,
+        Algorithm::kMooStage, Algorithm::kNsga2, Algorithm::kMoelaNoMlGuide,
+        Algorithm::kMoelaEaOnly, Algorithm::kMoelaLocalOnly}) {
+    EXPECT_TRUE(api::registry().contains(algorithm_key(a)))
+        << algorithm_key(a);
+  }
+}
+
 TEST(Analysis, GlobalBoundsCoverAllPoints) {
   SnapshotSet runs;
   runs.push_back({{100, 0.0, {{1.0, 5.0}, {2.0, 3.0}}}});

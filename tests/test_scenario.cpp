@@ -38,7 +38,7 @@ TEST(PaperBenchConfig, DefaultsWithoutEnv) {
   EXPECT_FALSE(config.small_platform);
   EXPECT_DOUBLE_EQ(config.max_seconds, 6.0);
   ASSERT_EQ(config.algorithms.size(), 3u);
-  EXPECT_EQ(config.algorithms[0], Algorithm::kMoela);
+  EXPECT_EQ(config.algorithms[0], "moela");
 }
 
 TEST(PaperBenchConfig, EnvOverrides) {
@@ -81,6 +81,8 @@ TEST(Scenario, SmokeRunProducesComparableTraces) {
   config.snapshot_interval = 150;
   const auto r = run_app_scenario(sim::RodiniaApp::kBfs, 3, config);
   ASSERT_EQ(r.runs.size(), 3u);
+  ASSERT_EQ(r.algorithm_names.size(), 3u);
+  EXPECT_EQ(r.algorithm_names[0], "MOELA");
   ASSERT_EQ(r.traces.size(), 3u);
   ASSERT_EQ(r.final_phv.size(), 3u);
   EXPECT_EQ(r.num_objectives, 3u);
@@ -100,7 +102,7 @@ TEST(Scenario, DeterministicWithoutWallBudget) {
   config.max_evaluations = 600;
   config.max_seconds = 0.0;
   config.snapshot_interval = 200;
-  config.algorithms = {Algorithm::kMoeaD};
+  config.algorithms = {"moead"};
   const auto a = run_app_scenario(sim::RodiniaApp::kSrad, 3, config);
   const auto b = run_app_scenario(sim::RodiniaApp::kSrad, 3, config);
   ASSERT_EQ(a.traces.size(), b.traces.size());

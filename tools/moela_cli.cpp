@@ -1,0 +1,295 @@
+// moela_cli: compose problem x algorithm x budgets from the command line
+// and emit CSV — the serving front-end of the runtime-composition API.
+// Nothing here is algorithm- or problem-specific: problems come from
+// api::make_problem(), algorithms from api::registry(), and per-algorithm
+// parameters ride in --knob name=value pairs.
+//
+//   moela_cli --problem zdt1 --algorithm moela --evals 2000 --seed 1
+//   moela_cli --problem noc --app BFS --objectives 5 --algorithm moo-stage \
+//             --seconds 5 --knob stage.ls.max_steps=10 --trace trace.csv
+//   moela_cli --list
+//
+// stdout carries the final Pareto front as CSV (one objective per column);
+// run metadata goes to stderr so pipelines stay clean.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "api/optimizer.hpp"
+#include "api/problems.hpp"
+#include "api/registry.hpp"
+
+using namespace moela;
+
+namespace {
+
+struct CliOptions {
+  std::string problem;
+  std::string algorithm;
+  api::ProblemOptions problem_options;
+  api::RunOptions run_options;
+  std::string out_path;    // empty = stdout
+  std::string trace_path;  // empty = no trace dump
+  bool list = false;
+  bool help = false;
+};
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: moela_cli --problem NAME --algorithm NAME [options]\n"
+               "\n"
+               "  --problem NAME     problem to solve (see --list)\n"
+               "  --algorithm NAME   optimizer registry key (see --list)\n"
+               "  --evals N          objective-evaluation budget "
+               "(default 20000)\n"
+               "  --seconds S        wall-clock budget, 0 = off (default 0)\n"
+               "  --seed N           RNG seed (default 1)\n"
+               "  --pop N            population / archive size (default 50)\n"
+               "  --n-local N        local searches per iteration "
+               "(default 5)\n"
+               "  --snapshot N       snapshot cadence in evals (default "
+               "500)\n"
+               "  --objectives M     objective count (problem default if "
+               "omitted)\n"
+               "  --variables N      decision variables / items (problem "
+               "default)\n"
+               "  --app TAG          NoC workload app: BP BFS GAU HOT PF SC "
+               "SRAD\n"
+               "  --small            NoC: 3x3x3 platform instead of 4x4x4\n"
+               "  --knob NAME=VALUE  per-algorithm knob (repeatable; see "
+               "api/optimizers.cpp)\n"
+               "  --out PATH         write the front CSV to PATH instead of "
+               "stdout\n"
+               "  --trace PATH       also dump the anytime snapshot trace "
+               "CSV\n"
+               "  --list             list problems and algorithms, then "
+               "exit\n"
+               "  --help             this text\n");
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions cli;
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "moela_cli: %s needs a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  // Checked numeric parsing: a typo like "--evals 20k" must be an error,
+  // not a silent zero-budget run.
+  auto integer_value = [&](int& i, const char* flag, auto& out) -> bool {
+    const char* v = need_value(i, flag);
+    if (v == nullptr) return false;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || std::strchr(v, '-') != nullptr) {
+      std::fprintf(stderr,
+                   "moela_cli: %s wants a non-negative integer, got '%s'\n",
+                   flag, v);
+      return false;
+    }
+    out = parsed;
+    return true;
+  };
+  auto double_value = [&](int& i, const char* flag, double& out) -> bool {
+    const char* v = need_value(i, flag);
+    if (v == nullptr) return false;
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0') {
+      std::fprintf(stderr, "moela_cli: %s wants a number, got '%s'\n", flag,
+                   v);
+      return false;
+    }
+    out = parsed;
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--small") {
+      cli.problem_options.small_platform = true;
+    } else if (arg == "--problem") {
+      if ((v = need_value(i, "--problem")) == nullptr) return std::nullopt;
+      cli.problem = v;
+    } else if (arg == "--algorithm") {
+      if ((v = need_value(i, "--algorithm")) == nullptr) return std::nullopt;
+      cli.algorithm = v;
+    } else if (arg == "--evals") {
+      if (!integer_value(i, "--evals", cli.run_options.max_evaluations)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--seconds") {
+      if (!double_value(i, "--seconds", cli.run_options.max_seconds)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--seed") {
+      if (!integer_value(i, "--seed", cli.run_options.seed)) {
+        return std::nullopt;
+      }
+      cli.problem_options.seed = cli.run_options.seed;
+    } else if (arg == "--pop") {
+      if (!integer_value(i, "--pop", cli.run_options.population_size)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--n-local") {
+      if (!integer_value(i, "--n-local", cli.run_options.n_local)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--snapshot") {
+      if (!integer_value(i, "--snapshot",
+                         cli.run_options.snapshot_interval)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--objectives") {
+      if (!integer_value(i, "--objectives",
+                         cli.problem_options.num_objectives)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--variables") {
+      if (!integer_value(i, "--variables",
+                         cli.problem_options.num_variables)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--app") {
+      if ((v = need_value(i, "--app")) == nullptr) return std::nullopt;
+      cli.problem_options.app = v;
+    } else if (arg == "--knob") {
+      if ((v = need_value(i, "--knob")) == nullptr) return std::nullopt;
+      if (!cli.run_options.knobs.parse_assignment(v)) {
+        std::fprintf(stderr, "moela_cli: bad --knob '%s' (want NAME=VALUE)\n",
+                     v);
+        return std::nullopt;
+      }
+    } else if (arg == "--out") {
+      if ((v = need_value(i, "--out")) == nullptr) return std::nullopt;
+      cli.out_path = v;
+    } else if (arg == "--trace") {
+      if ((v = need_value(i, "--trace")) == nullptr) return std::nullopt;
+      cli.trace_path = v;
+    } else {
+      std::fprintf(stderr, "moela_cli: unknown flag '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return cli;
+}
+
+void write_front_csv(std::ostream& out,
+                     const std::vector<moo::ObjectiveVector>& front) {
+  if (front.empty()) return;
+  out.precision(12);
+  for (std::size_t m = 0; m < front[0].size(); ++m) {
+    out << (m == 0 ? "" : ",") << "objective_" << m;
+  }
+  out << "\n";
+  for (const auto& point : front) {
+    for (std::size_t m = 0; m < point.size(); ++m) {
+      out << (m == 0 ? "" : ",") << point[m];
+    }
+    out << "\n";
+  }
+}
+
+int list_registry() {
+  std::printf("problems:\n");
+  for (const auto& name : api::problem_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("algorithms:\n");
+  for (const auto& name : api::registry().names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_args(argc, argv);
+  if (!parsed) {
+    print_usage(stderr);
+    return 2;
+  }
+  const CliOptions& cli = *parsed;
+  if (cli.help) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (cli.list) return list_registry();
+  if (cli.problem.empty() || cli.algorithm.empty()) {
+    std::fprintf(stderr, "moela_cli: --problem and --algorithm are "
+                         "required\n\n");
+    print_usage(stderr);
+    return 2;
+  }
+
+  try {
+    const api::AnyProblem problem =
+        api::make_problem(cli.problem, cli.problem_options);
+    auto optimizer = api::registry().create(cli.algorithm, problem);
+
+    std::fprintf(stderr,
+                 "moela_cli: %s on %s (%zu objectives, evals<=%zu, "
+                 "seconds<=%.1f, seed %llu)\n",
+                 optimizer->name().c_str(), cli.problem.c_str(),
+                 problem.num_objectives(), cli.run_options.max_evaluations,
+                 cli.run_options.max_seconds,
+                 static_cast<unsigned long long>(cli.run_options.seed));
+
+    const api::RunReport report = optimizer->run(cli.run_options);
+
+    std::fprintf(stderr,
+                 "moela_cli: %zu evaluations in %.2f s, front size %zu, "
+                 "final population %zu\n",
+                 report.evaluations, report.seconds,
+                 report.final_front.size(), report.final_designs.size());
+
+    if (cli.out_path.empty()) {
+      write_front_csv(std::cout, report.final_front);
+    } else {
+      std::ofstream out(cli.out_path);
+      if (!out) {
+        std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
+                     cli.out_path.c_str());
+        return 1;
+      }
+      write_front_csv(out, report.final_front);
+      std::fprintf(stderr, "moela_cli: front CSV written to %s\n",
+                   cli.out_path.c_str());
+    }
+
+    if (!cli.trace_path.empty()) {
+      std::ofstream trace(cli.trace_path);
+      if (!trace) {
+        std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
+                     cli.trace_path.c_str());
+        return 1;
+      }
+      trace.precision(12);
+      trace << "evaluations,seconds,front_size\n";
+      for (const auto& s : report.snapshots) {
+        trace << s.evaluations << "," << s.seconds << "," << s.front.size()
+              << "\n";
+      }
+      std::fprintf(stderr, "moela_cli: trace CSV written to %s\n",
+                   cli.trace_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "moela_cli: %s\n", e.what());
+    return 1;
+  }
+}
