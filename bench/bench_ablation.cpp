@@ -25,8 +25,14 @@ int main() {
   util::Table table("Ablation: MOELA components (5-obj)");
   table.set_header({"App", "Variant", "final PHV", "evals to 90% best PHV"});
 
-  for (auto app : {sim::RodiniaApp::kBfs, sim::RodiniaApp::kSrad}) {
-    const auto r = exp::run_app_scenario(app, 5, config);
+  // Both applications as ONE Executor batch (MOELA_BENCH_JOBS workers).
+  const std::vector<exp::ScenarioCell> grid{{sim::RodiniaApp::kBfs, 5},
+                                            {sim::RodiniaApp::kSrad, 5}};
+  const auto results = exp::run_app_scenarios(grid, config);
+
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    const auto app = grid[gi].app;
+    const auto& r = results[gi];
     double best = 0.0;
     for (double phv : r.final_phv) best = std::max(best, phv);
     for (std::size_t i = 0; i < config.algorithms.size(); ++i) {

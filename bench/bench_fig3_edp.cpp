@@ -28,9 +28,16 @@ int main() {
   table.set_header(
       {"App", "MOELA EDP (J*s)", "MOEA/D overhead", "MOOS overhead"});
 
+  // All seven applications as ONE Executor batch (MOELA_BENCH_JOBS
+  // workers), index-aligned with `apps`.
+  std::vector<exp::ScenarioCell> grid;
+  for (auto app : apps) grid.push_back({app, 5});
+  const auto results = exp::run_app_scenarios(grid, config);
+
   util::OnlineStats moead_stats, moos_stats;
-  for (auto app : apps) {
-    const auto r = exp::run_app_scenario(app, 5, config);
+  for (std::size_t gi = 0; gi < apps.size(); ++gi) {
+    const auto app = apps[gi];
+    const auto& r = results[gi];
 
     const auto spec = exp::bench_platform(config);
     const auto workload = sim::make_workload(spec, app, config.seed);

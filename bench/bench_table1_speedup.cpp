@@ -24,6 +24,16 @@ int main() {
   const std::vector<std::size_t> scenarios{3, 4, 5};
   const auto& apps = sim::all_rodinia_apps();
 
+  // The whole grid as ONE Executor batch (MOELA_BENCH_JOBS workers); grid
+  // index = si * apps.size() + ai.
+  std::vector<exp::ScenarioCell> grid;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+      grid.push_back({apps[ai], scenarios[si]});
+    }
+  }
+  const auto results = exp::run_app_scenarios(grid, config);
+
   // rows[app][competitor(0=MOEA/D,1=MOOS)][scenario] = speedup
   std::vector<std::vector<std::vector<double>>> cells(
       apps.size(),
@@ -31,7 +41,7 @@ int main() {
 
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
     for (std::size_t ai = 0; ai < apps.size(); ++ai) {
-      const auto r = exp::run_app_scenario(apps[ai], scenarios[si], config);
+      const auto& r = results[si * apps.size() + ai];
       // traces[0] = MOELA, [1] = MOEA/D, [2] = MOOS (config order).
       for (std::size_t comp = 0; comp < 2; ++comp) {
         const auto s = moo::speedup_factor_time(r.traces[0], r.traces[comp + 1]);

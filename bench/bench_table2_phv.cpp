@@ -19,13 +19,23 @@ int main() {
   const std::vector<std::size_t> scenarios{3, 4, 5};
   const auto& apps = sim::all_rodinia_apps();
 
+  // The whole grid as ONE Executor batch (MOELA_BENCH_JOBS workers); grid
+  // index = si * apps.size() + ai.
+  std::vector<exp::ScenarioCell> grid;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+      grid.push_back({apps[ai], scenarios[si]});
+    }
+  }
+  const auto results = exp::run_app_scenarios(grid, config);
+
   std::vector<std::vector<std::vector<double>>> cells(
       apps.size(),
       std::vector<std::vector<double>>(2, std::vector<double>(3, 0.0)));
 
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
     for (std::size_t ai = 0; ai < apps.size(); ++ai) {
-      const auto r = exp::run_app_scenario(apps[ai], scenarios[si], config);
+      const auto& r = results[si * apps.size() + ai];
       for (std::size_t comp = 0; comp < 2; ++comp) {
         cells[ai][comp][si] =
             exp::phv_gain(r.final_phv[0], r.final_phv[comp + 1]);

@@ -1,0 +1,140 @@
+#include "api/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/registry.hpp"
+
+namespace moela::api {
+
+Executor::Executor(ExecutorConfig config) : config_(config) {
+  std::size_t jobs = config.jobs;
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::packaged_task<RunReport()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::vector<std::future<RunReport>> Executor::submit(
+    std::vector<RunRequest> requests, RunControl* control) {
+  auto batch = std::make_shared<BatchState>();
+  batch->total = requests.size();
+  std::vector<std::future<RunReport>> futures;
+  futures.reserve(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      std::packaged_task<RunReport()> task(
+          [this, request = std::move(requests[i]), control, i, batch] {
+            return execute(request, control, i, batch);
+          });
+      futures.push_back(task.get_future());
+      queue_.push_back(std::move(task));
+    }
+  }
+  wake_.notify_all();
+  return futures;
+}
+
+std::vector<RunReport> Executor::run_all(std::vector<RunRequest> requests,
+                                         RunControl* control) {
+  auto futures = submit(std::move(requests), control);
+  std::vector<RunReport> reports;
+  reports.reserve(futures.size());
+  for (auto& future : futures) reports.push_back(future.get());
+  return reports;
+}
+
+RunReport Executor::execute(const RunRequest& request, RunControl* control,
+                            std::size_t index,
+                            const std::shared_ptr<BatchState>& batch) {
+  // The completed counter must advance on every exit path (including a
+  // throwing make_problem / registry lookup), or batch progress displays
+  // would stall short of `total`.
+  auto finish = [&](const RunReport* report) {
+    const std::size_t done =
+        batch->completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (control == nullptr) return;
+    RunProgress progress;
+    progress.batch_index = index;
+    progress.batch_size = batch->total;
+    progress.completed = done;
+    progress.max_evaluations = request.options.max_evaluations;
+    progress.finished = true;
+    if (report != nullptr) {
+      progress.algorithm = report->algorithm;
+      progress.evaluations = report->evaluations;
+      progress.seconds = report->seconds;
+      progress.cache_hit = report->provenance.cache_hit;
+    }
+    control->notify(progress);
+  };
+
+  try {
+    const std::string key = request.cache_key();
+    RunReport report;
+    bool ran = false;
+    if (config_.cache != nullptr) {
+      if (auto hit = config_.cache->lookup(key, request.need_designs)) {
+        report = std::move(*hit);
+      }
+    }
+    if (!report.provenance.cache_hit) {
+      if (control != nullptr && control->stop_requested()) {
+        // Never started: an empty, well-formed cancelled report.
+        report.algorithm = request.algorithm;
+        report.provenance.seed = request.options.seed;
+        report.provenance.knobs = request.options.knobs.values();
+        report.provenance.cancelled = true;
+      } else {
+        AnyProblem problem =
+            request.bound_problem.has_value()
+                ? request.bound_problem
+                : make_problem(request.problem, request.problem_options);
+        auto optimizer =
+            registry().create(request.algorithm, std::move(problem));
+        report = optimizer->run(request.options, control, index, batch->total);
+        ran = true;
+      }
+    }
+    report.provenance.problem = request.problem;
+    report.provenance.algorithm_key = request.algorithm;
+    report.provenance.cache_key = key;
+    if (ran && config_.cache != nullptr) {
+      config_.cache->store(key, report);  // ignores cancelled partials
+    }
+    finish(&report);
+    return report;
+  } catch (...) {
+    finish(nullptr);
+    throw;  // delivered by this request's future
+  }
+}
+
+}  // namespace moela::api

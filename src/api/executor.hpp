@@ -1,0 +1,93 @@
+// Batched execution layer, part 3: the thread-pooled Executor.
+//
+// Schedules a vector of RunRequests onto a fixed pool of worker threads and
+// hands back one std::future<RunReport> per request (index-aligned), so the
+// paper's (application x objectives x algorithm x seed) grid runs as one
+// batch instead of a serial loop:
+//
+//   api::Executor executor({.jobs = 4, .cache = &cache});
+//   api::RunControl control;            // optional: progress + Ctrl-C stop
+//   auto reports = executor.run_all(requests, &control);
+//
+// Guarantees:
+//   * Determinism — each run owns its EvalContext and RNG (seeded from its
+//     request), so reports are bit-identical to serial execution for the
+//     same seeds, regardless of jobs or completion order.
+//   * Observability — progress events flow through the shared RunControl
+//     at the snapshot cadence, plus one `finished` event per run.
+//   * Cancellation — RunControl::request_stop() stops queued requests
+//     before they start and winds down in-flight runs at their next budget
+//     check; every future still yields a well-formed report.
+//   * Caching — with a ResultCache attached, a request whose cache_key()
+//     hits is served without running (provenance.cache_hit = true).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/optimizer.hpp"
+#include "api/request.hpp"
+#include "api/result_cache.hpp"
+
+namespace moela::api {
+
+struct ExecutorConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t jobs = 0;
+  /// Optional result cache consulted before and filled after each run
+  /// (not owned; must outlive the Executor).
+  ResultCache* cache = nullptr;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config = {});
+  /// Joins the workers after draining the queue (a pending stop request
+  /// makes the drain fast: remaining runs return cancelled reports).
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t jobs() const { return workers_.size(); }
+
+  /// Schedules the batch; returns futures index-aligned with `requests`.
+  /// A run that throws (unknown registry key, bad problem options, ...)
+  /// surfaces the exception from that future's get(). `control` (optional)
+  /// is shared by every run in the batch.
+  std::vector<std::future<RunReport>> submit(std::vector<RunRequest> requests,
+                                             RunControl* control = nullptr);
+
+  /// submit() + get(): blocks until the whole batch is done and returns the
+  /// reports index-aligned with `requests`.
+  std::vector<RunReport> run_all(std::vector<RunRequest> requests,
+                                 RunControl* control = nullptr);
+
+ private:
+  /// Shared per-batch bookkeeping for the `completed / total` progress
+  /// fields.
+  struct BatchState {
+    std::atomic<std::size_t> completed{0};
+    std::size_t total = 0;
+  };
+
+  RunReport execute(const RunRequest& request, RunControl* control,
+                    std::size_t index, const std::shared_ptr<BatchState>& batch);
+  void worker_loop();
+
+  ExecutorConfig config_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<RunReport()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace moela::api

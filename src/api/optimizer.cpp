@@ -17,19 +17,37 @@ bool KnobBag::parse_assignment(const std::string& assignment) {
   return true;
 }
 
-RunReport Optimizer::run(const RunOptions& options) {
+RunReport Optimizer::run(const RunOptions& options, RunControl* control,
+                         std::size_t batch_index, std::size_t batch_size) {
   core::EvalContext<AnyProblem> ctx(problem_, options.seed,
                                     options.max_evaluations,
                                     options.snapshot_interval,
                                     options.max_seconds);
   RunReport report;
   report.algorithm = name();
+  if (control != nullptr) {
+    ctx.set_stop_flag(control->stop_flag());
+    ctx.set_progress_hook([&](std::size_t evaluations, double seconds) {
+      RunProgress progress;
+      progress.algorithm = report.algorithm;
+      progress.batch_index = batch_index;
+      progress.batch_size = batch_size;
+      progress.evaluations = evaluations;
+      progress.seconds = seconds;
+      progress.max_evaluations = options.max_evaluations;
+      control->notify(progress);
+    });
+  }
   run_body(ctx, options, report);
   ctx.take_snapshot();  // final state
   report.snapshots = ctx.snapshots();
   report.final_front = ctx.archive().objective_set();
   report.evaluations = ctx.evaluations();
   report.seconds = ctx.elapsed_seconds();
+  report.provenance.seed = options.seed;
+  report.provenance.knobs = options.knobs.values();
+  report.provenance.cancelled =
+      control != nullptr && control->stop_requested();
   return report;
 }
 

@@ -15,8 +15,11 @@
 // the Fig. 3 design selection.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -87,6 +90,82 @@ struct RunOptions {
   KnobBag knobs;
 };
 
+/// One progress event from an in-flight run (emitted at the snapshot
+/// cadence) or from the Executor when a batch entry finishes.
+struct RunProgress {
+  /// Display name of the algorithm reporting progress.
+  std::string algorithm;
+  /// Index of this run in its batch (0 for direct Optimizer::run calls).
+  std::size_t batch_index = 0;
+  /// Number of runs in the batch (1 for direct calls).
+  std::size_t batch_size = 1;
+  /// Finished runs in the batch so far; only filled on `finished` events.
+  std::size_t completed = 0;
+  std::size_t evaluations = 0;
+  double seconds = 0.0;
+  std::size_t max_evaluations = 0;
+  /// True for the Executor's end-of-run event (in-run cadence events are
+  /// false).
+  bool finished = false;
+  /// True when a finished run was served from the result cache.
+  bool cache_hit = false;
+};
+
+/// Shared observability and cancellation handle for one run or a whole
+/// batch. Thread-safe: many in-flight runs may carry the same control.
+/// request_stop() is async-signal-safe (a single atomic store), so a SIGINT
+/// handler may call it directly.
+class RunControl {
+ public:
+  /// Asks every run carrying this control to stop at its next budget check.
+  /// In-flight runs still return a well-formed (partial) report.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// The raw flag, for wiring into core::EvalContext::set_stop_flag.
+  const std::atomic<bool>* stop_flag() const { return &stop_; }
+
+  /// Installs the progress callback. Invoked from the run's own thread
+  /// (serialized by an internal mutex); keep it cheap and do not call back
+  /// into the Executor from it.
+  void on_progress(std::function<void(const RunProgress&)> callback) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callback_ = std::move(callback);
+  }
+
+  /// Delivers one progress event to the callback (no-op without one).
+  void notify(const RunProgress& progress) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (callback_) callback_(progress);
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::function<void(const RunProgress&)> callback_;
+};
+
+/// Where a report came from: enough to reproduce (or cache-key) the run.
+/// Optimizer::run fills seed/knobs/cancelled; the Executor adds the problem
+/// and algorithm registry keys and the cache fields.
+struct RunProvenance {
+  /// make_problem() key; empty for a custom problem bound directly.
+  std::string problem;
+  /// Registry key of the algorithm ("moela", ...); empty for direct
+  /// Optimizer::run calls on a hand-built optimizer.
+  std::string algorithm_key;
+  std::uint64_t seed = 0;
+  /// The knob values the run actually received.
+  std::map<std::string, double> knobs;
+  /// Canonical cache key of the request; empty when uncacheable.
+  std::string cache_key;
+  bool cache_hit = false;
+  /// True when a stop was requested while this run was in flight (the
+  /// report then covers only the evaluations up to the stop).
+  bool cancelled = false;
+};
+
 /// Uniform result of one optimizer run.
 struct RunReport {
   /// Display name of the algorithm that produced this report ("MOELA",
@@ -100,6 +179,8 @@ struct RunReport {
   std::vector<moo::ObjectiveVector> final_objectives;
   std::size_t evaluations = 0;
   double seconds = 0.0;
+  /// Traceability: the request that produced this report.
+  RunProvenance provenance;
 
   /// Unwraps the final designs to their concrete type (throws when the
   /// report came from a different problem type).
@@ -125,7 +206,17 @@ class Optimizer {
 
   /// Runs the algorithm under `options` and returns the uniform report.
   /// Deterministic per (problem, options) when max_seconds is 0.
-  RunReport run(const RunOptions& options);
+  RunReport run(const RunOptions& options) {
+    return run(options, nullptr);
+  }
+
+  /// As above, but observable and cancellable through `control` (may be
+  /// nullptr): progress events fire at the snapshot cadence, and a
+  /// requested stop ends the run at its next budget check with a partial
+  /// report (provenance.cancelled = true). `batch_index`/`batch_size` tag
+  /// the progress events when the run is part of an Executor batch.
+  RunReport run(const RunOptions& options, RunControl* control,
+                std::size_t batch_index = 0, std::size_t batch_size = 1);
 
   const AnyProblem& problem() const { return problem_; }
 

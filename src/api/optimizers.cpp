@@ -232,6 +232,66 @@ class Nsga2Optimizer final : public Optimizer {
 
 namespace detail {
 
+namespace {
+
+// Declared knob keys, kept literally in sync with the get_or() reads above
+// (the registry uses them to flag --knob typos; see
+// OptimizerRegistry::unknown_knob_keys).
+
+void append_local_search_keys(std::vector<std::string>& keys,
+                              const std::string& prefix) {
+  keys.push_back(prefix + ".patience");
+  keys.push_back(prefix + ".max_steps");
+  keys.push_back(prefix + ".max_evals");
+}
+
+void append_forest_keys(std::vector<std::string>& keys,
+                        const std::string& prefix) {
+  keys.push_back(prefix + ".trees");
+  keys.push_back(prefix + ".max_features");
+  keys.push_back(prefix + ".max_depth");
+  keys.push_back(prefix + ".min_samples_leaf");
+  keys.push_back(prefix + ".min_samples_split");
+  keys.push_back(prefix + ".subsample");
+}
+
+std::vector<std::string> moela_knob_keys() {
+  std::vector<std::string> keys{
+      "moela.iter_early",       "moela.delta",
+      "moela.neighborhood_size", "moela.max_generations",
+      "moela.train_capacity",   "moela.train_interval",
+      "moela.max_replacements", "moela.guide_mode",
+      "moela.use_ml_guide",     "moela.use_local_search",
+      "moela.use_ea"};
+  append_local_search_keys(keys, "moela.ls");
+  append_forest_keys(keys, "moela.forest");
+  return keys;
+}
+
+std::vector<std::string> moead_knob_keys() {
+  return {"moead.delta", "moead.neighborhood_size", "moead.max_generations",
+          "moead.max_replacements"};
+}
+
+std::vector<std::string> moos_knob_keys() {
+  std::vector<std::string> keys{"moos.num_directions", "moos.max_iterations",
+                                "moos.temperature", "moos.gain_ema"};
+  append_local_search_keys(keys, "moos.ls");
+  return keys;
+}
+
+std::vector<std::string> stage_knob_keys() {
+  std::vector<std::string> keys{"stage.max_iterations", "stage.iter_early",
+                                "stage.meta_candidates",
+                                "stage.train_capacity"};
+  append_forest_keys(keys, "stage.forest");
+  keys.push_back("stage.ls.max_steps");
+  keys.push_back("stage.ls.neighbors_per_step");
+  return keys;
+}
+
+}  // namespace
+
 void register_builtin_optimizers(OptimizerRegistry& registry) {
   auto moela_variant = [](std::string display, bool guide, bool ls, bool ea) {
     return [display = std::move(display), guide, ls, ea](AnyProblem p) {
@@ -239,25 +299,35 @@ void register_builtin_optimizers(OptimizerRegistry& registry) {
                                               ls, ea);
     };
   };
-  registry.add("moela", moela_variant("MOELA", true, true, true));
+  registry.add("moela", moela_variant("MOELA", true, true, true),
+               moela_knob_keys());
   registry.add("moela-noguide",
-               moela_variant("MOELA-noguide", false, true, true));
+               moela_variant("MOELA-noguide", false, true, true),
+               moela_knob_keys());
   registry.add("moela-ea-only",
-               moela_variant("MOELA-EA-only", true, false, true));
+               moela_variant("MOELA-EA-only", true, false, true),
+               moela_knob_keys());
   registry.add("moela-ls-only",
-               moela_variant("MOELA-LS-only", true, true, false));
-  registry.add("moead", [](AnyProblem p) {
-    return std::make_unique<MoeaDOptimizer>(std::move(p));
-  });
-  registry.add("moos", [](AnyProblem p) {
-    return std::make_unique<MoosOptimizer>(std::move(p));
-  });
-  registry.add("moo-stage", [](AnyProblem p) {
-    return std::make_unique<MooStageOptimizer>(std::move(p));
-  });
-  registry.add("nsga2", [](AnyProblem p) {
-    return std::make_unique<Nsga2Optimizer>(std::move(p));
-  });
+               moela_variant("MOELA-LS-only", true, true, false),
+               moela_knob_keys());
+  registry.add(
+      "moead",
+      [](AnyProblem p) { return std::make_unique<MoeaDOptimizer>(std::move(p)); },
+      moead_knob_keys());
+  registry.add(
+      "moos",
+      [](AnyProblem p) { return std::make_unique<MoosOptimizer>(std::move(p)); },
+      moos_knob_keys());
+  registry.add(
+      "moo-stage",
+      [](AnyProblem p) {
+        return std::make_unique<MooStageOptimizer>(std::move(p));
+      },
+      stage_knob_keys());
+  registry.add(
+      "nsga2",
+      [](AnyProblem p) { return std::make_unique<Nsga2Optimizer>(std::move(p)); },
+      {"nsga2.max_generations"});
 }
 
 }  // namespace detail

@@ -1,5 +1,6 @@
 #include "api/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -12,15 +13,48 @@ namespace detail {
 void register_builtin_optimizers(OptimizerRegistry& registry);
 }  // namespace detail
 
-void OptimizerRegistry::add(const std::string& name, Factory factory) {
+void OptimizerRegistry::add(const std::string& name, Factory factory,
+                            std::vector<std::string> knob_keys) {
   if (!factory) {
     throw std::invalid_argument("OptimizerRegistry: null factory for '" +
                                 name + "'");
   }
-  if (!factories_.emplace(name, std::move(factory)).second) {
+  Entry entry{std::move(factory), std::move(knob_keys)};
+  if (!factories_.emplace(name, std::move(entry)).second) {
     throw std::invalid_argument("OptimizerRegistry: duplicate key '" + name +
                                 "'");
   }
+}
+
+std::vector<std::string> OptimizerRegistry::knob_keys(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  return it == factories_.end() ? std::vector<std::string>{}
+                                : it->second.knob_keys;
+}
+
+std::vector<std::string> OptimizerRegistry::unknown_knob_keys(
+    const KnobBag& knobs, const std::vector<std::string>& algorithms) const {
+  std::vector<const std::vector<std::string>*> declared;
+  for (const auto& algorithm : algorithms) {
+    auto it = factories_.find(algorithm);
+    if (it == factories_.end() || it->second.knob_keys.empty()) {
+      return {};  // an undeclared optimizer may accept anything
+    }
+    declared.push_back(&it->second.knob_keys);
+  }
+  std::vector<std::string> unknown;
+  for (const auto& [key, _] : knobs.values()) {
+    bool recognized = false;
+    for (const auto* keys : declared) {
+      if (std::find(keys->begin(), keys->end(), key) != keys->end()) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) unknown.push_back(key);
+  }
+  return unknown;
 }
 
 std::vector<std::string> OptimizerRegistry::names() const {
@@ -42,7 +76,7 @@ std::unique_ptr<Optimizer> OptimizerRegistry::create(
     throw std::out_of_range("OptimizerRegistry: unknown optimizer '" + name +
                             "' (registered: " + known + ")");
   }
-  return it->second(std::move(problem));
+  return it->second.factory(std::move(problem));
 }
 
 OptimizerRegistry& registry() {

@@ -29,7 +29,11 @@ class OptimizerRegistry {
 
   /// Registers a factory under `name`. Throws std::invalid_argument when
   /// the key is already taken (keys are unique, lookup must be unambiguous).
-  void add(const std::string& name, Factory factory);
+  /// `knob_keys` declares the KnobBag keys the optimizer's adapter reads
+  /// (unknown_knob_keys() uses them to flag typos); omit it and the
+  /// optimizer counts as accepting any key.
+  void add(const std::string& name, Factory factory,
+           std::vector<std::string> knob_keys = {});
 
   bool contains(const std::string& name) const {
     return factories_.count(name) > 0;
@@ -38,6 +42,17 @@ class OptimizerRegistry {
   /// Registered keys, sorted.
   std::vector<std::string> names() const;
 
+  /// The knob keys `name` declared at registration (empty when the
+  /// optimizer declared none, i.e. accepts anything, or is unknown).
+  std::vector<std::string> knob_keys(const std::string& name) const;
+
+  /// The keys in `knobs` that NO optimizer in `algorithms` recognizes —
+  /// likely typos, since unrecognized keys are silently ignored at run
+  /// time. Conservative: if any selected optimizer did not declare its
+  /// keys, nothing is reported.
+  std::vector<std::string> unknown_knob_keys(
+      const KnobBag& knobs, const std::vector<std::string>& algorithms) const;
+
   /// Instantiates the optimizer registered under `name`, bound to
   /// `problem`. Throws std::out_of_range for an unknown name (the message
   /// lists the registered keys).
@@ -45,7 +60,12 @@ class OptimizerRegistry {
                                     AnyProblem problem) const;
 
  private:
-  std::map<std::string, Factory> factories_;
+  struct Entry {
+    Factory factory;
+    /// Declared KnobBag keys; empty = accepts anything.
+    std::vector<std::string> knob_keys;
+  };
+  std::map<std::string, Entry> factories_;
 };
 
 /// The process-wide registry, with the library's built-in algorithms

@@ -1,0 +1,87 @@
+// Batched execution layer, part 2: the content-keyed result cache.
+//
+// Key = RunRequest::cache_key() (problem instance + algorithm + canonical
+// RunOptions incl. knobs and seed); value = the full RunReport. Two tiers:
+//
+//   * memory — always on; stores the report verbatim (designs included),
+//     serves repeats within one process (e.g. the same (app, m) cell used
+//     by several tables).
+//   * disk   — optional; one text file per key under a cache directory,
+//     doubles rendered as hexfloats so reports round-trip bit-exactly.
+//     Serves repeats ACROSS processes (a re-invoked CLI or bench).
+//
+// Designs are type-erased (AnyDesign), so the disk tier serializes them
+// through a small codec covering the library's design types — real vectors
+// (ZDT/DTLZ/continuous), binary vectors (knapsack), and NocDesign (via
+// noc/io). Reports whose design type has no codec are stored without
+// designs; a lookup with need_designs = true then rejects such entries and
+// the caller recomputes.
+//
+// Thread-safe: lookup/store may be called concurrently from Executor
+// workers. Cross-process disk writes are atomic (write-temp + rename).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "api/optimizer.hpp"
+
+namespace moela::api {
+
+class ResultCache {
+ public:
+  /// Memory-only cache.
+  ResultCache() = default;
+  /// Memory + disk under `disk_dir` (created on first store; "" = memory
+  /// only).
+  explicit ResultCache(std::string disk_dir) : dir_(std::move(disk_dir)) {}
+
+  /// The conventional disk location: $MOELA_CACHE_DIR if set, else
+  /// $XDG_CACHE_HOME/moela, else $HOME/.cache/moela, else ./.moela-cache.
+  static std::string default_disk_dir();
+
+  /// Returns the cached report for `key`, or nullopt. `need_designs`
+  /// rejects disk entries stored without designs (see file comment).
+  /// A hit is returned with provenance.cache_hit = true.
+  std::optional<RunReport> lookup(const std::string& key,
+                                  bool need_designs = false);
+
+  /// Stores `report` under `key` in both tiers. Ignores empty keys and
+  /// cancelled (partial) reports.
+  void store(const std::string& key, const RunReport& report);
+
+  struct Stats {
+    std::size_t memory_hits = 0;
+    std::size_t disk_hits = 0;
+    std::size_t misses = 0;
+    std::size_t stores = 0;
+  };
+  Stats stats() const;
+
+  const std::string& disk_dir() const { return dir_; }
+
+  /// FNV-1a 64-bit hex digest of `key` — the on-disk file stem.
+  static std::string hash_key(const std::string& key);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RunReport> memory_;
+  std::string dir_;
+  Stats stats_;
+};
+
+namespace detail {
+/// Text serialization used by the disk tier (exposed for tests). `key` is
+/// embedded so a hash collision reads as a miss, never as a wrong hit.
+void write_report(std::ostream& os, const std::string& key,
+                  const RunReport& report);
+/// Parses a serialized report; nullopt when malformed or when the embedded
+/// key differs from `key`.
+std::optional<RunReport> read_report(std::istream& is, const std::string& key);
+}  // namespace detail
+
+}  // namespace moela::api

@@ -7,8 +7,10 @@
 // fact with a globally consistent normalization.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "moo/archive.hpp"
@@ -55,6 +57,7 @@ class EvalContext {
         evaluations_ >= next_snapshot_) {
       take_snapshot();
       next_snapshot_ = evaluations_ + snapshot_interval_;
+      if (progress_hook_) progress_hook_(evaluations_, timer_.elapsed_seconds());
     }
     return obj;
   }
@@ -66,9 +69,24 @@ class EvalContext {
   std::size_t max_evaluations() const { return max_evaluations_; }
   bool exhausted() const {
     if (evaluations_ >= max_evaluations_) return true;
+    if (external_stop_ != nullptr &&
+        external_stop_->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return max_seconds_ > 0.0 && timer_.elapsed_seconds() >= max_seconds_;
   }
   double elapsed_seconds() const { return timer_.elapsed_seconds(); }
+
+  /// Installs an external stop flag (owned by the caller, e.g. an
+  /// api::RunControl); once it reads true the budget counts as exhausted and
+  /// the algorithm winds down at its next budget check.
+  void set_stop_flag(const std::atomic<bool>* stop) { external_stop_ = stop; }
+
+  /// Installs a progress observer invoked at the snapshot cadence with
+  /// (evaluations, elapsed seconds). Called from the run's own thread.
+  void set_progress_hook(std::function<void(std::size_t, double)> hook) {
+    progress_hook_ = std::move(hook);
+  }
 
   /// All-time non-dominated set over every evaluation in this run.
   const moo::ParetoArchive& archive() const { return archive_; }
@@ -107,6 +125,8 @@ class EvalContext {
   moo::ParetoArchive archive_;
   std::vector<ArchiveSnapshot> snapshots_;
   std::function<std::vector<moo::ObjectiveVector>()> solution_set_provider_;
+  const std::atomic<bool>* external_stop_ = nullptr;
+  std::function<void(std::size_t, double)> progress_hook_;
   util::Timer timer_;
 };
 

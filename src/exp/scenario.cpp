@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
-#include "api/registry.hpp"
+#include "api/executor.hpp"
+#include "api/request.hpp"
+#include "api/result_cache.hpp"
 #include "moo/metrics.hpp"
 #include "util/log.hpp"
 
@@ -35,6 +38,13 @@ PaperBenchConfig paper_bench_config_from_env() {
     config.max_seconds = std::strtod(secs, nullptr);
   }
   config.snapshot_interval = 200;
+  config.jobs = env_size_t("MOELA_BENCH_JOBS", 1);
+  const char* cache = std::getenv("MOELA_BENCH_CACHE");
+  if (cache != nullptr && *cache != '\0') {
+    config.cache_dir = std::string(cache) == "1"
+                           ? api::ResultCache::default_disk_dir()
+                           : cache;
+  }
   return config;
 }
 
@@ -84,45 +94,96 @@ noc::PlatformSpec bench_platform(const PaperBenchConfig& config) {
                                : noc::PlatformSpec::paper_4x4x4();
 }
 
+std::vector<AppScenarioResult> run_app_scenarios(
+    const std::vector<ScenarioCell>& cells, const PaperBenchConfig& config) {
+  const api::RunOptions options = tuned_run_options(config);
+  const std::size_t per_cell = config.algorithms.size();
+
+  // The whole grid as one batch: cells x algorithms, index-aligned so cell
+  // ci's runs are requests [ci * per_cell, (ci + 1) * per_cell).
+  std::vector<api::RunRequest> requests;
+  requests.reserve(cells.size() * per_cell);
+  for (const ScenarioCell& cell : cells) {
+    for (const std::string& algorithm : config.algorithms) {
+      api::RunRequest request;
+      request.problem = "noc";
+      request.problem_options.app = sim::app_name(cell.app);
+      request.problem_options.num_objectives = cell.num_objectives;
+      request.problem_options.seed = config.seed;
+      request.problem_options.small_platform = config.small_platform;
+      request.algorithm = algorithm;
+      request.options = options;
+      // Benches unwrap designs_as<NocDesign>() (e.g. the Fig. 3 EDP
+      // selection), so cache hits must carry designs.
+      request.need_designs = true;
+      request.label = std::string(sim::app_name(cell.app)) + " " +
+                      std::to_string(cell.num_objectives) + "-obj " +
+                      algorithm;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  api::ResultCache cache(config.cache_dir);
+  api::ExecutorConfig executor_config;
+  executor_config.jobs = config.jobs;
+  executor_config.cache = config.cache_dir.empty() ? nullptr : &cache;
+  api::Executor executor(executor_config);
+
+  util::log_info() << "scheduling " << requests.size() << " runs ("
+                   << cells.size() << " cells x " << per_cell
+                   << " algorithms) on " << executor.jobs()
+                   << " worker(s), evals<=" << options.max_evaluations;
+
+  api::RunControl control;
+  control.on_progress([&requests](const api::RunProgress& progress) {
+    if (!progress.finished) return;  // in-run cadence events stay quiet
+    util::log_info() << requests[progress.batch_index].label << ": done ("
+                     << progress.evaluations << " evals, "
+                     << progress.seconds << " s"
+                     << (progress.cache_hit ? ", cached" : "") << ") ["
+                     << progress.completed << "/" << progress.batch_size
+                     << "]";
+  });
+
+  std::vector<api::RunReport> reports = executor.run_all(requests, &control);
+
+  std::vector<AppScenarioResult> results;
+  results.reserve(cells.size());
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    AppScenarioResult result;
+    result.app = cells[ci].app;
+    result.num_objectives = cells[ci].num_objectives;
+    for (std::size_t ai = 0; ai < per_cell; ++ai) {
+      result.runs.push_back(std::move(reports[ci * per_cell + ai]));
+      result.algorithm_names.push_back(result.runs.back().algorithm);
+    }
+
+    SnapshotSet snapshots;
+    for (const auto& run : result.runs) snapshots.push_back(run.snapshots);
+    result.bounds = global_bounds(snapshots);
+    result.traces = phv_traces(snapshots, result.bounds);
+    // T_stop: every algorithm received the same wall-clock budget; compare
+    // at the earliest final-trace timestamp so every run has a sample at or
+    // before the comparison point.
+    result.common_stop_seconds = result.traces.front().back().seconds;
+    for (const auto& trace : result.traces) {
+      result.common_stop_seconds =
+          std::min(result.common_stop_seconds, trace.back().seconds);
+    }
+    for (const auto& trace : result.traces) {
+      result.final_phv.push_back(
+          moo::phv_at_time(trace, result.common_stop_seconds));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 AppScenarioResult run_app_scenario(sim::RodiniaApp app,
                                    std::size_t num_objectives,
                                    const PaperBenchConfig& config) {
-  AppScenarioResult result;
-  result.app = app;
-  result.num_objectives = num_objectives;
-
-  noc::PlatformSpec spec = bench_platform(config);
-  noc::Workload workload = sim::make_workload(spec, app, config.seed);
-  const api::AnyProblem problem(noc::NocProblem(
-      std::move(spec), std::move(workload), num_objectives));
-  const api::RunOptions options = tuned_run_options(config);
-
-  for (const std::string& key : config.algorithms) {
-    auto optimizer = api::registry().create(key, problem);
-    util::log_info() << sim::app_name(app) << " " << num_objectives
-                     << "-obj: running " << optimizer->name() << " ("
-                     << options.max_evaluations << " evals)";
-    result.algorithm_names.push_back(optimizer->name());
-    result.runs.push_back(optimizer->run(options));
-  }
-
-  SnapshotSet snapshots;
-  for (const auto& run : result.runs) snapshots.push_back(run.snapshots);
-  result.bounds = global_bounds(snapshots);
-  result.traces = phv_traces(snapshots, result.bounds);
-  // T_stop: every algorithm received the same wall-clock budget; compare
-  // at the earliest final-trace timestamp so every run has a sample at or
-  // before the comparison point.
-  result.common_stop_seconds = result.traces.front().back().seconds;
-  for (const auto& trace : result.traces) {
-    result.common_stop_seconds =
-        std::min(result.common_stop_seconds, trace.back().seconds);
-  }
-  for (const auto& trace : result.traces) {
-    result.final_phv.push_back(
-        moo::phv_at_time(trace, result.common_stop_seconds));
-  }
-  return result;
+  return std::move(
+      run_app_scenarios({ScenarioCell{app, num_objectives}}, config).front());
 }
 
 }  // namespace moela::exp

@@ -1,8 +1,10 @@
 // Paper-scenario runner shared by the bench binaries: executes a set of
-// algorithms on one (application, objective-count) instance of the Sec. V
-// setup and derives the shared-normalization PHV traces. Algorithms are
-// selected by registry key and run through the uniform Optimizer API
-// (src/api/), so a bench compares any composition without recompiling.
+// algorithms over (application, objective-count) cells of the Sec. V setup
+// and derives the shared-normalization PHV traces. Algorithms are selected
+// by registry key; every run is scheduled as an api::RunRequest through the
+// thread-pooled api::Executor (src/api/executor.hpp), so a bench can batch
+// its whole grid, run cells in parallel, and serve repeats from the result
+// cache without recompiling.
 //
 // Wall-clock knobs come from the environment so CI and laptops can scale
 // the experiments without recompiling:
@@ -10,6 +12,11 @@
 //   MOELA_BENCH_EVALS   — evaluation-cap backstop    (default 40000)
 //   MOELA_BENCH_SMALL   — "1" = 3x3x3 platform instead of the paper's 4x4x4
 //   MOELA_BENCH_SEED    — root seed                  (default 1)
+//   MOELA_BENCH_JOBS    — Executor worker threads    (default 1; parallel
+//                         runs share cores, so keep 1 when the wall-clock
+//                         budget is the contract)
+//   MOELA_BENCH_CACHE   — result-cache directory; "1" = the default dir
+//                         (api::ResultCache::default_disk_dir), unset = off
 #pragma once
 
 #include <cstddef>
@@ -35,6 +42,11 @@ struct PaperBenchConfig {
   bool small_platform = false;
   /// Registry keys of the algorithms to compare (api::registry()).
   std::vector<std::string> algorithms = {"moela", "moead", "moos"};
+  /// Executor worker threads for the batch (1 = serial; runs are
+  /// bit-identical either way for a fixed seed with no wall-clock budget).
+  std::size_t jobs = 1;
+  /// Result-cache directory; empty = no cache.
+  std::string cache_dir;
 };
 
 /// Reads the MOELA_BENCH_* environment overrides.
@@ -70,7 +82,20 @@ struct AppScenarioResult {
   double common_stop_seconds = 0.0;
 };
 
-/// Runs every configured algorithm on (app, m). Deterministic per seed.
+/// One (application, objective-count) cell of the Sec. V grid.
+struct ScenarioCell {
+  sim::RodiniaApp app;
+  std::size_t num_objectives = 0;
+};
+
+/// Runs every configured algorithm on every cell as ONE Executor batch
+/// (config.jobs workers, optional result cache), then derives each cell's
+/// shared-normalization traces. Results are index-aligned with `cells`.
+/// Deterministic per seed for any jobs value.
+std::vector<AppScenarioResult> run_app_scenarios(
+    const std::vector<ScenarioCell>& cells, const PaperBenchConfig& config);
+
+/// Single-cell convenience over run_app_scenarios().
 AppScenarioResult run_app_scenario(sim::RodiniaApp app,
                                    std::size_t num_objectives,
                                    const PaperBenchConfig& config);

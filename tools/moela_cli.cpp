@@ -4,13 +4,26 @@
 // api::make_problem(), algorithms from api::registry(), and per-algorithm
 // parameters ride in --knob name=value pairs.
 //
+// Every invocation — single run or sweep — is a batch of api::RunRequests
+// scheduled on the thread-pooled api::Executor: --jobs picks the worker
+// count, --replicates fans each cell out across seeds, repeating
+// --algo/--app sweeps the grid, and a disk-backed result cache (on by
+// default; see --no-cache / --cache-dir / $MOELA_CACHE_DIR) makes repeated
+// identical invocations near-free. Ctrl-C requests a graceful stop:
+// in-flight runs wind down at their next budget check and still report.
+//
 //   moela_cli --problem zdt1 --algorithm moela --evals 2000 --seed 1
-//   moela_cli --problem noc --app BFS --objectives 5 --algorithm moo-stage \
-//             --seconds 5 --knob stage.ls.max_steps=10 --trace trace.csv
+//   moela_cli --problem zdt1 --algo moela --algo nsga2 --replicates 3 \
+//             --jobs 4 --evals 2000
+//   moela_cli --problem noc --app BFS --app SRAD --objectives 5 \
+//             --algo moela --algo moos --seconds 5 --jobs 2
 //   moela_cli --list
 //
-// stdout carries the final Pareto front as CSV (one objective per column);
-// run metadata goes to stderr so pipelines stay clean.
+// stdout carries the final Pareto front(s) as CSV (one objective per
+// column, '#' provenance comments per run); run metadata goes to stderr so
+// pipelines stay clean.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,11 +32,16 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/executor.hpp"
 #include "api/optimizer.hpp"
 #include "api/problems.hpp"
 #include "api/registry.hpp"
+#include "api/request.hpp"
+#include "api/result_cache.hpp"
+#include "util/timer.hpp"
 
 using namespace moela;
 
@@ -31,9 +49,15 @@ namespace {
 
 struct CliOptions {
   std::string problem;
-  std::string algorithm;
+  std::vector<std::string> algorithms;
+  std::vector<std::string> apps;  // NoC sweep; empty = ProblemOptions default
   api::ProblemOptions problem_options;
   api::RunOptions run_options;
+  std::size_t jobs = 1;
+  std::size_t replicates = 1;
+  bool use_cache = true;
+  std::string cache_dir;   // empty = ResultCache::default_disk_dir()
+  bool progress = false;   // in-run progress lines at the snapshot cadence
   std::string out_path;    // empty = stdout
   std::string trace_path;  // empty = no trace dump
   bool list = false;
@@ -45,11 +69,17 @@ void print_usage(std::FILE* to) {
                "usage: moela_cli --problem NAME --algorithm NAME [options]\n"
                "\n"
                "  --problem NAME     problem to solve (see --list)\n"
-               "  --algorithm NAME   optimizer registry key (see --list)\n"
+               "  --algorithm NAME   optimizer registry key (see --list);\n"
+               "  --algo NAME        repeatable — multiple keys sweep them "
+               "all\n"
                "  --evals N          objective-evaluation budget "
                "(default 20000)\n"
                "  --seconds S        wall-clock budget, 0 = off (default 0)\n"
                "  --seed N           RNG seed (default 1)\n"
+               "  --replicates K     run each cell K times with seeds "
+               "seed..seed+K-1\n"
+               "  --jobs N           Executor worker threads (default 1; "
+               "0 = all cores)\n"
                "  --pop N            population / archive size (default 50)\n"
                "  --n-local N        local searches per iteration "
                "(default 5)\n"
@@ -61,16 +91,27 @@ void print_usage(std::FILE* to) {
                "default)\n"
                "  --app TAG          NoC workload app: BP BFS GAU HOT PF SC "
                "SRAD\n"
+               "                     (repeatable — multiple apps sweep "
+               "them)\n"
                "  --small            NoC: 3x3x3 platform instead of 4x4x4\n"
                "  --knob NAME=VALUE  per-algorithm knob (repeatable; see "
                "api/optimizers.cpp)\n"
-               "  --out PATH         write the front CSV to PATH instead of "
-               "stdout\n"
+               "  --no-cache         disable the result cache\n"
+               "  --cache-dir PATH   cache directory (default "
+               "$MOELA_CACHE_DIR,\n"
+               "                     else ~/.cache/moela)\n"
+               "  --progress         stream in-run progress at the snapshot "
+               "cadence\n"
+               "  --out PATH         write the front CSV(s) to PATH instead "
+               "of stdout\n"
                "  --trace PATH       also dump the anytime snapshot trace "
                "CSV\n"
                "  --list             list problems and algorithms, then "
                "exit\n"
-               "  --help             this text\n");
+               "  --help             this text\n"
+               "\n"
+               "Ctrl-C stops the batch gracefully: in-flight runs return "
+               "their partial\nfronts (marked cancelled=1).\n");
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -121,12 +162,16 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       cli.list = true;
     } else if (arg == "--small") {
       cli.problem_options.small_platform = true;
+    } else if (arg == "--no-cache") {
+      cli.use_cache = false;
+    } else if (arg == "--progress") {
+      cli.progress = true;
     } else if (arg == "--problem") {
       if ((v = need_value(i, "--problem")) == nullptr) return std::nullopt;
       cli.problem = v;
-    } else if (arg == "--algorithm") {
-      if ((v = need_value(i, "--algorithm")) == nullptr) return std::nullopt;
-      cli.algorithm = v;
+    } else if (arg == "--algorithm" || arg == "--algo") {
+      if ((v = need_value(i, arg.c_str())) == nullptr) return std::nullopt;
+      cli.algorithms.push_back(v);
     } else if (arg == "--evals") {
       if (!integer_value(i, "--evals", cli.run_options.max_evaluations)) {
         return std::nullopt;
@@ -140,6 +185,16 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       cli.problem_options.seed = cli.run_options.seed;
+    } else if (arg == "--replicates") {
+      if (!integer_value(i, "--replicates", cli.replicates)) {
+        return std::nullopt;
+      }
+      if (cli.replicates == 0) {
+        std::fprintf(stderr, "moela_cli: --replicates wants at least 1\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--jobs") {
+      if (!integer_value(i, "--jobs", cli.jobs)) return std::nullopt;
     } else if (arg == "--pop") {
       if (!integer_value(i, "--pop", cli.run_options.population_size)) {
         return std::nullopt;
@@ -165,7 +220,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       }
     } else if (arg == "--app") {
       if ((v = need_value(i, "--app")) == nullptr) return std::nullopt;
-      cli.problem_options.app = v;
+      cli.apps.push_back(v);
     } else if (arg == "--knob") {
       if ((v = need_value(i, "--knob")) == nullptr) return std::nullopt;
       if (!cli.run_options.knobs.parse_assignment(v)) {
@@ -173,6 +228,9 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
                      v);
         return std::nullopt;
       }
+    } else if (arg == "--cache-dir") {
+      if ((v = need_value(i, "--cache-dir")) == nullptr) return std::nullopt;
+      cli.cache_dir = v;
     } else if (arg == "--out") {
       if ((v = need_value(i, "--out")) == nullptr) return std::nullopt;
       cli.out_path = v;
@@ -187,10 +245,29 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
   return cli;
 }
 
+/// Provenance header comments (satellite of the batch API: every CSV block
+/// is traceable to the request that produced it).
+void write_provenance(std::ostream& out, const api::RunReport& report) {
+  const api::RunProvenance& p = report.provenance;
+  out << "# problem=" << (p.problem.empty() ? "<custom>" : p.problem)
+      << " algorithm=" << (p.algorithm_key.empty() ? "?" : p.algorithm_key)
+      << " name=\"" << report.algorithm << "\""
+      << " seed=" << p.seed << " evaluations=" << report.evaluations
+      << " seconds=" << report.seconds
+      << " cache=" << (p.cache_hit ? "hit" : "miss")
+      << " cancelled=" << (p.cancelled ? 1 : 0) << "\n";
+  if (!p.knobs.empty()) {
+    out << "# knobs";
+    for (const auto& [name, value] : p.knobs) {
+      out << ' ' << name << '=' << value;
+    }
+    out << "\n";
+  }
+}
+
 void write_front_csv(std::ostream& out,
                      const std::vector<moo::ObjectiveVector>& front) {
   if (front.empty()) return;
-  out.precision(12);
   for (std::size_t m = 0; m < front[0].size(); ++m) {
     out << (m == 0 ? "" : ",") << "objective_" << m;
   }
@@ -210,9 +287,58 @@ int list_registry() {
   }
   std::printf("algorithms:\n");
   for (const auto& name : api::registry().names()) {
-    std::printf("  %s\n", name.c_str());
+    std::printf("  %s (knobs: %zu declared)\n", name.c_str(),
+                api::registry().knob_keys(name).size());
   }
   return 0;
+}
+
+/// Warns about --knob names no selected algorithm declares (they would be
+/// silently ignored at run time — almost always a typo).
+void warn_unknown_knobs(const CliOptions& cli) {
+  const auto unknown = api::registry().unknown_knob_keys(
+      cli.run_options.knobs, cli.algorithms);
+  for (const auto& key : unknown) {
+    std::fprintf(stderr,
+                 "moela_cli: warning: knob '%s' is not recognized by any "
+                 "selected algorithm and will be ignored\n",
+                 key.c_str());
+  }
+}
+
+/// Builds the batch: (app x algorithm x replicate), in output order.
+std::vector<api::RunRequest> build_requests(const CliOptions& cli) {
+  std::vector<std::string> apps = cli.apps;
+  if (apps.empty()) apps.push_back(cli.problem_options.app);
+  std::vector<api::RunRequest> requests;
+  for (const auto& app : apps) {
+    for (const auto& algorithm : cli.algorithms) {
+      api::RunRequest base;
+      base.problem = cli.problem;
+      base.problem_options = cli.problem_options;
+      base.problem_options.app = app;
+      base.algorithm = algorithm;
+      base.options = cli.run_options;
+      base.label = cli.problem +
+                   (cli.problem == "noc" ? ":" + app : std::string()) + ":" +
+                   algorithm;
+      for (auto& request : api::expand_replicates(base, cli.replicates)) {
+        request.label += ":seed" + std::to_string(request.options.seed);
+        requests.push_back(std::move(request));
+      }
+    }
+  }
+  return requests;
+}
+
+// Ctrl-C: ask the batch to stop; a second Ctrl-C falls back to the default
+// (hard kill). Signal handlers may only touch lock-free atomics, so the
+// pointer itself is atomic and request_stop is a single atomic store.
+std::atomic<api::RunControl*> g_control{nullptr};
+
+void handle_sigint(int) {
+  if (auto* control = g_control.load()) control->request_stop();
+  std::signal(SIGINT, SIG_DFL);
 }
 
 }  // namespace
@@ -229,44 +355,107 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cli.list) return list_registry();
-  if (cli.problem.empty() || cli.algorithm.empty()) {
+  if (cli.problem.empty() || cli.algorithms.empty()) {
     std::fprintf(stderr, "moela_cli: --problem and --algorithm are "
                          "required\n\n");
     print_usage(stderr);
     return 2;
   }
+  for (const auto& algorithm : cli.algorithms) {
+    if (!api::registry().contains(algorithm)) {
+      std::fprintf(stderr,
+                   "moela_cli: unknown algorithm '%s' (see --list)\n",
+                   algorithm.c_str());
+      return 2;
+    }
+  }
+  if (!cli.apps.empty() && cli.apps.size() > 1 && cli.problem != "noc") {
+    std::fprintf(stderr,
+                 "moela_cli: multiple --app values only apply to the noc "
+                 "problem\n");
+    return 2;
+  }
+  warn_unknown_knobs(cli);
 
   try {
-    const api::AnyProblem problem =
-        api::make_problem(cli.problem, cli.problem_options);
-    auto optimizer = api::registry().create(cli.algorithm, problem);
+    const std::vector<api::RunRequest> requests = build_requests(cli);
+
+    api::ResultCache cache(
+        cli.use_cache
+            ? (cli.cache_dir.empty() ? api::ResultCache::default_disk_dir()
+                                     : cli.cache_dir)
+            : std::string());
+    api::ExecutorConfig executor_config;
+    executor_config.jobs = cli.jobs;
+    executor_config.cache = cli.use_cache ? &cache : nullptr;
+    api::Executor executor(executor_config);
 
     std::fprintf(stderr,
-                 "moela_cli: %s on %s (%zu objectives, evals<=%zu, "
-                 "seconds<=%.1f, seed %llu)\n",
-                 optimizer->name().c_str(), cli.problem.c_str(),
-                 problem.num_objectives(), cli.run_options.max_evaluations,
-                 cli.run_options.max_seconds,
-                 static_cast<unsigned long long>(cli.run_options.seed));
+                 "moela_cli: %zu run(s) on %zu worker(s) (evals<=%zu, "
+                 "seconds<=%.1f, cache %s)\n",
+                 requests.size(), executor.jobs(),
+                 cli.run_options.max_evaluations, cli.run_options.max_seconds,
+                 cli.use_cache ? cache.disk_dir().c_str() : "off");
 
-    const api::RunReport report = optimizer->run(cli.run_options);
+    api::RunControl control;
+    g_control = &control;
+    std::signal(SIGINT, handle_sigint);
+    const bool stream_progress = cli.progress;
+    control.on_progress([&requests,
+                         stream_progress](const api::RunProgress& p) {
+      if (p.finished) {
+        std::fprintf(stderr,
+                     "moela_cli: [%zu/%zu] %s done (%zu evals, %.2f s%s)\n",
+                     p.completed, p.batch_size,
+                     requests[p.batch_index].label.c_str(), p.evaluations,
+                     p.seconds, p.cache_hit ? ", cached" : "");
+      } else if (stream_progress) {
+        std::fprintf(stderr, "moela_cli: [run %zu] %s at %zu/%zu evals "
+                             "(%.2f s)\n",
+                     p.batch_index + 1, p.algorithm.c_str(), p.evaluations,
+                     p.max_evaluations, p.seconds);
+      }
+    });
 
+    util::Timer wall;
+    std::vector<api::RunReport> reports =
+        executor.run_all(requests, &control);
+    const double wall_seconds = wall.elapsed_seconds();
+    g_control = nullptr;
+
+    std::size_t cache_hits = 0, cancelled = 0;
+    for (const auto& report : reports) {
+      cache_hits += report.provenance.cache_hit ? 1 : 0;
+      cancelled += report.provenance.cancelled ? 1 : 0;
+    }
+    const std::string cancelled_note =
+        cancelled > 0 ? ", " + std::to_string(cancelled) + " cancelled" : "";
     std::fprintf(stderr,
-                 "moela_cli: %zu evaluations in %.2f s, front size %zu, "
-                 "final population %zu\n",
-                 report.evaluations, report.seconds,
-                 report.final_front.size(), report.final_designs.size());
+                 "moela_cli: batch done in %.2f s (%zu run(s), %zu cache "
+                 "hit(s)%s)\n",
+                 wall_seconds, reports.size(), cache_hits,
+                 cancelled_note.c_str());
 
-    if (cli.out_path.empty()) {
-      write_front_csv(std::cout, report.final_front);
-    } else {
-      std::ofstream out(cli.out_path);
-      if (!out) {
+    std::ofstream out_file;
+    if (!cli.out_path.empty()) {
+      out_file.open(cli.out_path);
+      if (!out_file) {
         std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
                      cli.out_path.c_str());
         return 1;
       }
-      write_front_csv(out, report.final_front);
+    }
+    std::ostream& out = cli.out_path.empty() ? std::cout : out_file;
+    out.precision(12);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (reports.size() > 1) {
+        out << (i == 0 ? "" : "\n") << "# run " << (i + 1) << "/"
+            << reports.size() << " " << requests[i].label << "\n";
+      }
+      write_provenance(out, reports[i]);
+      write_front_csv(out, reports[i].final_front);
+    }
+    if (!cli.out_path.empty()) {
       std::fprintf(stderr, "moela_cli: front CSV written to %s\n",
                    cli.out_path.c_str());
     }
@@ -279,15 +468,22 @@ int main(int argc, char** argv) {
         return 1;
       }
       trace.precision(12);
-      trace << "evaluations,seconds,front_size\n";
-      for (const auto& s : report.snapshots) {
-        trace << s.evaluations << "," << s.seconds << "," << s.front.size()
-              << "\n";
+      for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (reports.size() > 1) {
+          trace << (i == 0 ? "" : "\n") << "# run " << (i + 1) << "/"
+                << reports.size() << " " << requests[i].label << "\n";
+        }
+        write_provenance(trace, reports[i]);
+        trace << "evaluations,seconds,front_size\n";
+        for (const auto& s : reports[i].snapshots) {
+          trace << s.evaluations << "," << s.seconds << "," << s.front.size()
+                << "\n";
+        }
       }
       std::fprintf(stderr, "moela_cli: trace CSV written to %s\n",
                    cli.trace_path.c_str());
     }
-    return 0;
+    return cancelled > 0 ? 130 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "moela_cli: %s\n", e.what());
     return 1;
