@@ -4,10 +4,13 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "api/run_log.hpp"
+#include "util/timer.hpp"
 
 namespace moela::api {
 
 Executor::Executor(ExecutorConfig config) : config_(config) {
+  if (config_.run_log == nullptr) config_.run_log = RunLogger::from_env();
   std::size_t jobs = config.jobs;
   if (jobs == 0) {
     jobs = std::max(1u, std::thread::hardware_concurrency());
@@ -96,6 +99,7 @@ RunReport Executor::execute(const RunRequest& request, RunControl* control,
     control->notify(progress);
   };
 
+  util::Timer wall;
   try {
     const std::string key = request.cache_key();
     RunReport report;
@@ -129,11 +133,25 @@ RunReport Executor::execute(const RunRequest& request, RunControl* control,
     if (ran && config_.cache != nullptr) {
       config_.cache->store(key, report);  // ignores cancelled partials
     }
+    if (config_.run_log != nullptr) {
+      config_.run_log->append(request, report, wall.elapsed_seconds());
+    }
     finish(&report);
     return report;
-  } catch (...) {
+  } catch (const std::exception& e) {
+    if (config_.run_log != nullptr) {
+      config_.run_log->append_error(request, e.what(),
+                                    wall.elapsed_seconds());
+    }
     finish(nullptr);
     throw;  // delivered by this request's future
+  } catch (...) {
+    if (config_.run_log != nullptr) {
+      config_.run_log->append_error(request, "unknown exception",
+                                    wall.elapsed_seconds());
+    }
+    finish(nullptr);
+    throw;
   }
 }
 

@@ -44,6 +44,11 @@ struct ExecutorConfig {
   /// Optional result cache consulted before and filled after each run
   /// (not owned; must outlive the Executor).
   ResultCache* cache = nullptr;
+  /// Optional per-run JSONL logger (not owned; must outlive the Executor).
+  /// Left null, the Executor falls back to RunLogger::from_env(), so
+  /// MOELA_RUN_LOG=<path> enables structured logs in any Executor-based
+  /// tool without code changes.
+  class RunLogger* run_log = nullptr;
 };
 
 class Executor {

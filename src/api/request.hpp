@@ -18,6 +18,14 @@
 
 namespace moela::api {
 
+/// Version salt folded into every cache_key(). Bump it whenever the key
+/// schema, the report serialization, or any algorithm's search behavior
+/// changes in a way that makes old cached reports wrong — stale entries
+/// written by older binaries then read as misses instead of being served
+/// (or, worse, aliased). History: v1 = PR 2 initial schema; v2 = PR 3
+/// (serve daemon; report schema gained the JSON wire form).
+inline constexpr unsigned kCacheSchemaVersion = 2;
+
 /// One schedulable run: which problem, which algorithm, which budgets.
 /// A plain value — copying is cheap (the bound problem, if any, is shared).
 struct RunRequest {
@@ -75,7 +83,7 @@ inline std::string exact_double(double value) {
 
 inline std::string RunRequest::cache_key() const {
   if (problem.empty()) return {};
-  std::string key = "moela-run-v1";
+  std::string key = "moela-run-v" + std::to_string(kCacheSchemaVersion);
   key += "|problem=" + problem;
   key += "|objectives=" + std::to_string(problem_options.num_objectives);
   key += "|variables=" + std::to_string(problem_options.num_variables);

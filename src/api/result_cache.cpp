@@ -1,5 +1,6 @@
 #include "api/result_cache.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -296,6 +297,17 @@ std::string ResultCache::default_disk_dir() {
   return ".moela-cache";
 }
 
+std::uintmax_t ResultCache::default_max_disk_bytes() {
+  if (const char* env = std::getenv("MOELA_CACHE_MAX_BYTES");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    // "0" is a valid setting: it disables the cap entirely.
+    if (end != nullptr && *end == '\0' && end != env) return parsed;
+  }
+  return 1ull << 30;  // 1 GiB
+}
+
 std::string ResultCache::hash_key(const std::string& key) {
   // FNV-1a 64-bit.
   std::uint64_t h = 1469598103934665603ull;
@@ -334,6 +346,10 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
       if (report.has_value() &&
           (!need_designs || !report->final_designs.empty())) {
         report->provenance.cache_hit = true;
+        // Refresh the entry's file time so the size cap evicts
+        // least-recently-USED, not least-recently-written.
+        std::error_code ec;
+        fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.disk_hits;
         memory_.emplace(key, *report);
@@ -378,7 +394,53 @@ void ResultCache::store(const std::string& key, const RunReport& report) {
     }
   }
   fs::rename(temp_path, final_path, ec);
-  if (ec) fs::remove(temp_path, ec);
+  if (ec) {
+    fs::remove(temp_path, ec);
+    return;
+  }
+  if (max_disk_bytes_ > 0) enforce_disk_cap(stem + ".moela");
+}
+
+void ResultCache::enforce_disk_cap(const std::string& keep) {
+  std::error_code ec;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type used;
+    std::uintmax_t size;
+  };
+  std::vector<Entry> entries;
+  std::uintmax_t total = 0;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (path.extension() != ".moela") continue;  // temp files age out fast
+    Entry entry{path, it->last_write_time(ec), it->file_size(ec)};
+    if (ec) return;  // racing another process; try again next store
+    total += entry.size;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= max_disk_bytes_) return;
+  // Oldest-used first; the just-written entry sorts last so it only goes
+  // when it alone exceeds the cap.
+  std::sort(entries.begin(), entries.end(), [&](const Entry& a,
+                                                const Entry& b) {
+    const bool a_keep = a.path.filename() == keep;
+    const bool b_keep = b.path.filename() == keep;
+    if (a_keep != b_keep) return b_keep;
+    return a.used < b.used;
+  });
+  std::size_t evicted = 0;
+  for (const auto& entry : entries) {
+    if (total <= max_disk_bytes_) break;
+    if (fs::remove(entry.path, ec) && !ec) {
+      total -= entry.size;
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += evicted;
+  }
 }
 
 ResultCache::Stats ResultCache::stats() const {

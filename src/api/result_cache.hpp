@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <mutex>
@@ -44,6 +45,17 @@ class ResultCache {
   /// $XDG_CACHE_HOME/moela, else $HOME/.cache/moela, else ./.moela-cache.
   static std::string default_disk_dir();
 
+  /// The disk-tier size cap from $MOELA_CACHE_MAX_BYTES (bytes; "0"
+  /// disables the cap; unset/malformed = the built-in 1 GiB default).
+  static std::uintmax_t default_max_disk_bytes();
+
+  /// Caps the total size of the disk tier. After every store, entry files
+  /// are evicted least-recently-USED first (a lookup hit refreshes an
+  /// entry's file time) until the tier fits. 0 disables the cap. The
+  /// constructor seeds this from default_max_disk_bytes().
+  void set_max_disk_bytes(std::uintmax_t bytes) { max_disk_bytes_ = bytes; }
+  std::uintmax_t max_disk_bytes() const { return max_disk_bytes_; }
+
   /// Returns the cached report for `key`, or nullopt. `need_designs`
   /// rejects disk entries stored without designs (see file comment).
   /// A hit is returned with provenance.cache_hit = true.
@@ -59,6 +71,8 @@ class ResultCache {
     std::size_t disk_hits = 0;
     std::size_t misses = 0;
     std::size_t stores = 0;
+    /// Disk entries removed by the size cap (lifetime of this instance).
+    std::size_t evictions = 0;
   };
   Stats stats() const;
 
@@ -68,9 +82,14 @@ class ResultCache {
   static std::string hash_key(const std::string& key);
 
  private:
+  /// Removes least-recently-used entry files until the tier fits the cap,
+  /// sparing the just-written `keep` (unless it alone busts the cap).
+  void enforce_disk_cap(const std::string& keep);
+
   mutable std::mutex mutex_;
   std::map<std::string, RunReport> memory_;
   std::string dir_;
+  std::uintmax_t max_disk_bytes_ = default_max_disk_bytes();
   Stats stats_;
 };
 

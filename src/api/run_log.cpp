@@ -1,0 +1,94 @@
+#include "api/run_log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "api/result_cache.hpp"
+#include "util/json.hpp"
+
+namespace moela::api {
+namespace {
+
+using util::Json;
+
+/// UTC wall-clock timestamp ("2026-07-30T12:34:56Z") for the record; run
+/// durations come from the caller's monotonic timer, not from this.
+std::string timestamp_utc() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+Json base_record(const RunRequest& request, double wall_seconds) {
+  Json record = Json::object();
+  record.set("time", timestamp_utc())
+      .set("label", request.label_or_default())
+      .set("problem", request.problem)
+      .set("algorithm", request.algorithm)
+      .set("seed", request.options.seed)
+      .set("evals_budget", request.options.max_evaluations)
+      .set("wall_seconds", wall_seconds);
+  return record;
+}
+
+}  // namespace
+
+RunLogger::RunLogger(const std::string& path) : path_(path) {
+  out_.open(path, std::ios::app);
+  if (!out_) {
+    // Callers decide severity: tools fail fast on an explicit --run-log,
+    // the $MOELA_RUN_LOG fallback just proceeds without logging.
+    std::fprintf(stderr, "moela: run log '%s' could not be opened\n",
+                 path.c_str());
+  }
+}
+
+void RunLogger::write_line(const std::string& line) {
+  if (!out_.is_open()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();  // records must survive a daemon kill
+}
+
+void RunLogger::append(const RunRequest& request, const RunReport& report,
+                       double wall_seconds) {
+  Json record = base_record(request, wall_seconds);
+  const RunProvenance& p = report.provenance;
+  Json knobs = Json::object();
+  for (const auto& [name, value] : p.knobs) knobs.set(name, value);
+  record.set("status", p.cancelled ? "cancelled" : "ok")
+      .set("evaluations", report.evaluations)
+      .set("run_seconds", report.seconds)
+      .set("cache_hit", p.cache_hit)
+      .set("cache_key_hash",
+           p.cache_key.empty() ? Json()
+                               : Json(ResultCache::hash_key(p.cache_key)))
+      .set("knobs", std::move(knobs))
+      .set("front_size", report.final_front.size());
+  write_line(record.dump());
+}
+
+void RunLogger::append_error(const RunRequest& request,
+                             const std::string& error, double wall_seconds) {
+  Json record = base_record(request, wall_seconds);
+  record.set("status", "error").set("error", error);
+  write_line(record.dump());
+}
+
+RunLogger* RunLogger::from_env() {
+  static RunLogger* instance = []() -> RunLogger* {
+    const char* path = std::getenv("MOELA_RUN_LOG");
+    if (path == nullptr || *path == '\0') return nullptr;
+    auto* logger = new RunLogger(path);
+    return logger->ok() ? logger : nullptr;
+  }();
+  return instance;
+}
+
+}  // namespace moela::api

@@ -1,0 +1,56 @@
+// Per-run structured logs: one JSON record per completed (or failed)
+// Executor run, appended to a JSONL file. Gives batch jobs and the serving
+// daemon a machine-readable audit trail — what ran, with which provenance,
+// how long it took, and whether the cache served it — without parsing
+// stderr.
+//
+// Enabling it:
+//   * programmatically — ExecutorConfig::run_log = &logger;
+//   * by environment  — MOELA_RUN_LOG=<path> makes every Executor whose
+//     config left run_log null append there (benches and the CLI get
+//     logging for free);
+//   * by flag         — moela_cli / moela_serve --run-log PATH.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/optimizer.hpp"
+#include "api/request.hpp"
+
+namespace moela::api {
+
+class RunLogger {
+ public:
+  /// Opens `path` for appending. ok() is false when the open failed
+  /// (append() is then a no-op — logging is best-effort, never fatal).
+  explicit RunLogger(const std::string& path);
+
+  bool ok() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record for a finished run. `wall_seconds` is the
+  /// Executor-side wall time (includes cache lookup and scheduling, so a
+  /// cache hit logs near-zero). Thread-safe.
+  void append(const RunRequest& request, const RunReport& report,
+              double wall_seconds);
+
+  /// Appends one record for a run that threw instead of reporting.
+  void append_error(const RunRequest& request, const std::string& error,
+                    double wall_seconds);
+
+  /// The process-wide logger configured by $MOELA_RUN_LOG, or nullptr when
+  /// the variable is unset/empty. Built on first use.
+  static RunLogger* from_env();
+
+ private:
+  void write_line(const std::string& line);
+
+  std::string path_;
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace moela::api

@@ -1,0 +1,300 @@
+#include "api/serde.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "noc/design.hpp"
+#include "noc/io.hpp"
+
+namespace moela::api {
+namespace {
+
+using util::Json;
+using util::JsonArray;
+using util::JsonError;
+
+Json rows_to_json(const std::vector<moo::ObjectiveVector>& rows) {
+  Json out = Json::array();
+  for (const auto& row : rows) {
+    Json json_row = Json::array();
+    for (double v : row) json_row.append(util::exact_number(v));
+    out.append(std::move(json_row));
+  }
+  return out;
+}
+
+std::vector<moo::ObjectiveVector> rows_from_json(const Json& json) {
+  std::vector<moo::ObjectiveVector> out;
+  out.reserve(json.as_array().size());
+  for (const auto& json_row : json.as_array()) {
+    moo::ObjectiveVector row;
+    row.reserve(json_row.as_array().size());
+    for (const auto& v : json_row.as_array()) {
+      row.push_back(util::exact_to_double(v));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Json knobs_to_json(const std::map<std::string, double>& knobs) {
+  Json out = Json::object();
+  for (const auto& [name, value] : knobs) {
+    out.set(name, util::exact_number(value));
+  }
+  return out;
+}
+
+std::map<std::string, double> knobs_from_json(const Json& json) {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] : json.as_object()) {
+    out[name] = util::exact_to_double(value);
+  }
+  return out;
+}
+
+// Field readers: absent fields keep the caller's default, present fields
+// must have the right type (JsonError otherwise).
+void read_u64(const Json& obj, const char* key, std::uint64_t& out) {
+  if (const Json* v = obj.find(key)) out = v->as_u64();
+}
+void read_size(const Json& obj, const char* key, std::size_t& out) {
+  if (const Json* v = obj.find(key)) {
+    out = static_cast<std::size_t>(v->as_u64());
+  }
+}
+void read_exact(const Json& obj, const char* key, double& out) {
+  if (const Json* v = obj.find(key)) out = util::exact_to_double(*v);
+}
+void read_string(const Json& obj, const char* key, std::string& out) {
+  if (const Json* v = obj.find(key)) out = v->as_string();
+}
+void read_bool(const Json& obj, const char* key, bool& out) {
+  if (const Json* v = obj.find(key)) out = v->as_bool();
+}
+
+// ---------------------------------------------------------------- designs
+// Same three kinds as the result cache's disk codec: real vectors, binary
+// vectors, NocDesign (via the noc/io text format, embedded as strings).
+
+Json designs_to_json(const std::vector<AnyDesign>& designs) {
+  Json out = Json::object();
+  Json payload = Json::array();
+  if (designs.empty()) {
+    return out.set("kind", "none").set("values", std::move(payload));
+  }
+  const std::type_info& t = designs.front().type();
+  if (t == typeid(std::vector<double>)) {
+    for (const auto& d : designs) {
+      Json row = Json::array();
+      for (double x : d.as<std::vector<double>>()) {
+        row.append(util::exact_number(x));
+      }
+      payload.append(std::move(row));
+    }
+    return out.set("kind", "real").set("values", std::move(payload));
+  }
+  if (t == typeid(std::vector<std::uint8_t>)) {
+    for (const auto& d : designs) {
+      Json row = Json::array();
+      for (unsigned x : d.as<std::vector<std::uint8_t>>()) {
+        row.append(static_cast<std::uint64_t>(x));
+      }
+      payload.append(std::move(row));
+    }
+    return out.set("kind", "binary").set("values", std::move(payload));
+  }
+  if (t == typeid(noc::NocDesign)) {
+    for (const auto& d : designs) {
+      std::ostringstream os;
+      noc::write_design(os, d.as<noc::NocDesign>());
+      payload.append(os.str());
+    }
+    return out.set("kind", "noc").set("values", std::move(payload));
+  }
+  return out.set("kind", "none").set("values", std::move(payload));
+}
+
+std::vector<AnyDesign> designs_from_json(const Json& json) {
+  std::vector<AnyDesign> out;
+  std::string kind = "none";
+  read_string(json, "kind", kind);
+  const Json* values = json.find("values");
+  if (kind == "none" || values == nullptr) return out;
+  out.reserve(values->as_array().size());
+  if (kind == "real") {
+    for (const auto& row : values->as_array()) {
+      std::vector<double> v;
+      v.reserve(row.as_array().size());
+      for (const auto& x : row.as_array()) {
+        v.push_back(util::exact_to_double(x));
+      }
+      out.push_back(AnyDesign::wrap<std::vector<double>>(std::move(v)));
+    }
+    return out;
+  }
+  if (kind == "binary") {
+    for (const auto& row : values->as_array()) {
+      std::vector<std::uint8_t> v;
+      v.reserve(row.as_array().size());
+      for (const auto& x : row.as_array()) {
+        v.push_back(static_cast<std::uint8_t>(x.as_u64()));
+      }
+      out.push_back(AnyDesign::wrap<std::vector<std::uint8_t>>(std::move(v)));
+    }
+    return out;
+  }
+  if (kind == "noc") {
+    for (const auto& text : values->as_array()) {
+      std::istringstream is(text.as_string());
+      try {
+        out.push_back(AnyDesign::wrap<noc::NocDesign>(noc::read_design(is)));
+      } catch (const std::exception& e) {
+        throw JsonError(std::string("designs: bad noc payload: ") + e.what());
+      }
+    }
+    return out;
+  }
+  throw JsonError("designs: unknown kind '" + kind + "'");
+}
+
+}  // namespace
+
+Json request_to_json(const RunRequest& request) {
+  Json problem_options = Json::object();
+  problem_options.set("objectives", request.problem_options.num_objectives)
+      .set("variables", request.problem_options.num_variables)
+      .set("seed", request.problem_options.seed)
+      .set("app", request.problem_options.app)
+      .set("small_platform", request.problem_options.small_platform);
+
+  Json options = Json::object();
+  options.set("evals", request.options.max_evaluations)
+      .set("seconds", util::exact_number(request.options.max_seconds))
+      .set("snapshot", request.options.snapshot_interval)
+      .set("seed", request.options.seed)
+      .set("pop", request.options.population_size)
+      .set("n_local", request.options.n_local)
+      .set("knobs", knobs_to_json(request.options.knobs.values()));
+
+  Json out = Json::object();
+  out.set("problem", request.problem)
+      .set("problem_options", std::move(problem_options))
+      .set("algorithm", request.algorithm)
+      .set("options", std::move(options))
+      .set("need_designs", request.need_designs)
+      .set("label", request.label);
+  return out;
+}
+
+RunRequest request_from_json(const Json& json) {
+  RunRequest request;
+  read_string(json, "problem", request.problem);
+  read_string(json, "algorithm", request.algorithm);
+  if (request.problem.empty()) {
+    throw JsonError("request: missing or empty 'problem'");
+  }
+  if (request.algorithm.empty()) {
+    throw JsonError("request: missing or empty 'algorithm'");
+  }
+  if (const Json* po = json.find("problem_options")) {
+    read_size(*po, "objectives", request.problem_options.num_objectives);
+    read_size(*po, "variables", request.problem_options.num_variables);
+    read_u64(*po, "seed", request.problem_options.seed);
+    read_string(*po, "app", request.problem_options.app);
+    read_bool(*po, "small_platform", request.problem_options.small_platform);
+  }
+  if (const Json* ro = json.find("options")) {
+    read_size(*ro, "evals", request.options.max_evaluations);
+    read_exact(*ro, "seconds", request.options.max_seconds);
+    read_size(*ro, "snapshot", request.options.snapshot_interval);
+    read_u64(*ro, "seed", request.options.seed);
+    read_size(*ro, "pop", request.options.population_size);
+    read_size(*ro, "n_local", request.options.n_local);
+    if (const Json* knobs = ro->find("knobs")) {
+      for (const auto& [name, value] : knobs_from_json(*knobs)) {
+        request.options.knobs.set(name, value);
+      }
+    }
+  }
+  read_bool(json, "need_designs", request.need_designs);
+  read_string(json, "label", request.label);
+  return request;
+}
+
+Json report_to_json(const RunReport& report) {
+  Json snapshots = Json::array();
+  for (const auto& s : report.snapshots) {
+    Json snapshot = Json::object();
+    snapshot.set("evaluations", s.evaluations)
+        .set("seconds", util::exact_number(s.seconds))
+        .set("front", rows_to_json(s.front));
+    snapshots.append(std::move(snapshot));
+  }
+
+  const RunProvenance& p = report.provenance;
+  Json provenance = Json::object();
+  provenance.set("problem", p.problem)
+      .set("algorithm_key", p.algorithm_key)
+      .set("seed", p.seed)
+      .set("knobs", knobs_to_json(p.knobs))
+      .set("cache_key", p.cache_key)
+      .set("cache_hit", p.cache_hit)
+      .set("cancelled", p.cancelled);
+
+  Json out = Json::object();
+  out.set("algorithm", report.algorithm)
+      .set("snapshots", std::move(snapshots))
+      .set("final_front", rows_to_json(report.final_front))
+      .set("final_objectives", rows_to_json(report.final_objectives))
+      .set("designs", designs_to_json(report.final_designs))
+      .set("evaluations", report.evaluations)
+      .set("seconds", util::exact_number(report.seconds))
+      .set("provenance", std::move(provenance));
+  return out;
+}
+
+RunReport report_from_json(const Json& json) {
+  RunReport report;
+  read_string(json, "algorithm", report.algorithm);
+  if (const Json* snapshots = json.find("snapshots")) {
+    report.snapshots.reserve(snapshots->as_array().size());
+    for (const auto& s : snapshots->as_array()) {
+      core::ArchiveSnapshot snapshot;
+      read_size(s, "evaluations", snapshot.evaluations);
+      read_exact(s, "seconds", snapshot.seconds);
+      if (const Json* front = s.find("front")) {
+        snapshot.front = rows_from_json(*front);
+      }
+      report.snapshots.push_back(std::move(snapshot));
+    }
+  }
+  if (const Json* front = json.find("final_front")) {
+    report.final_front = rows_from_json(*front);
+  }
+  if (const Json* objectives = json.find("final_objectives")) {
+    report.final_objectives = rows_from_json(*objectives);
+  }
+  if (const Json* designs = json.find("designs")) {
+    report.final_designs = designs_from_json(*designs);
+  }
+  read_size(json, "evaluations", report.evaluations);
+  read_exact(json, "seconds", report.seconds);
+  if (const Json* provenance = json.find("provenance")) {
+    RunProvenance& p = report.provenance;
+    read_string(*provenance, "problem", p.problem);
+    read_string(*provenance, "algorithm_key", p.algorithm_key);
+    read_u64(*provenance, "seed", p.seed);
+    if (const Json* knobs = provenance->find("knobs")) {
+      p.knobs = knobs_from_json(*knobs);
+    }
+    read_string(*provenance, "cache_key", p.cache_key);
+    read_bool(*provenance, "cache_hit", p.cache_hit);
+    read_bool(*provenance, "cancelled", p.cancelled);
+  }
+  return report;
+}
+
+}  // namespace moela::api

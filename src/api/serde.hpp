@@ -1,0 +1,45 @@
+// JSON (de)serialization for the batched-execution value types — the wire
+// schema of the serving protocol (src/serve/) and the per-run structured
+// logs. The JSON field names map 1:1 onto the C++ members, so a request
+// hand-written against api/request.hpp works unchanged over the socket.
+//
+// Exactness contract: every double that feeds results or cache keys
+// (objective values, seconds, knob values) travels as a hexfloat string
+// (util::exact_number), so a RunReport deserialized from the wire is
+// bit-identical to the in-process one. Deserializers also accept plain
+// JSON numbers for human-written requests.
+//
+// RunRequest limitations: only keyed problems serialize — a request whose
+// problem is bound directly (RunRequest::bound_problem) has no stable
+// description and request_from_json never produces one.
+#pragma once
+
+#include <string>
+
+#include "api/optimizer.hpp"
+#include "api/request.hpp"
+#include "util/json.hpp"
+
+namespace moela::api {
+
+/// Request → JSON. Fields: problem, problem_options{objectives, variables,
+/// seed, app, small_platform}, algorithm, options{evals, seconds, snapshot,
+/// seed, pop, n_local, knobs{}}, need_designs, label. Defaults are written
+/// explicitly so the wire form is self-contained.
+util::Json request_to_json(const RunRequest& request);
+
+/// JSON → request. Unknown fields are ignored (forward compatibility);
+/// absent fields keep their C++ defaults. Throws util::JsonError on a
+/// type mismatch or a missing required field (problem, algorithm).
+RunRequest request_from_json(const util::Json& json);
+
+/// Report → JSON. Includes snapshots, the final front/objectives, the
+/// type-erased designs (real / binary / noc kinds; other design types
+/// serialize as kind "none" and drop the payload, mirroring the result
+/// cache's codec), and provenance.
+util::Json report_to_json(const RunReport& report);
+
+/// JSON → report. Throws util::JsonError on malformed input.
+RunReport report_from_json(const util::Json& json);
+
+}  // namespace moela::api

@@ -1,0 +1,185 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "api/serde.hpp"
+
+namespace moela::serve {
+namespace {
+
+using util::Json;
+
+}  // namespace
+
+Client::~Client() { disconnect(); }
+
+void Client::connect(const std::string& host, int port) {
+  disconnect();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string port_text = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &resolved) !=
+          0 ||
+      resolved == nullptr) {
+    throw std::runtime_error("moela_serve client: cannot resolve '" + host +
+                             "'");
+  }
+  int fd = -1;
+  std::string error = "no addresses";
+  for (const addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    throw std::runtime_error("moela_serve client: cannot connect to " + host +
+                             ":" + port_text + " (" + error + ")");
+  }
+  fd_ = fd;
+  reader_ = std::make_unique<LineReader>(fd_);
+}
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+Json Client::transact(Json message, const EventHandler& on_event) {
+  if (!connected()) {
+    throw std::runtime_error("moela_serve client: not connected");
+  }
+  const std::uint64_t id = next_id_++;
+  message.set("id", id);
+  if (!send_json(fd_, message)) {
+    throw std::runtime_error("moela_serve client: connection lost (send)");
+  }
+  std::string line;
+  while (reader_->read_line(line)) {
+    if (line.empty()) continue;
+    std::string parse_error;
+    const auto response = Json::try_parse(line, &parse_error);
+    if (!response.has_value()) {
+      throw std::runtime_error("moela_serve client: bad response line: " +
+                               parse_error);
+    }
+    const Json* response_id = response->find("id");
+    if (response_id == nullptr || response_id->as_u64() != id) {
+      continue;  // a stray line for another (abandoned) request id
+    }
+    if (response->find("event") != nullptr) {
+      if (on_event) on_event(*response);
+      continue;
+    }
+    return *response;
+  }
+  throw std::runtime_error("moela_serve client: connection closed before "
+                           "the response arrived");
+}
+
+std::vector<api::RunReport> Client::run(
+    const std::vector<api::RunRequest>& requests, bool stream_progress,
+    EventHandler on_event) {
+  Json requests_json = Json::array();
+  for (const auto& request : requests) {
+    requests_json.append(api::request_to_json(request));
+  }
+  Json message = Json::object();
+  message.set("verb", "run")
+      .set("requests", std::move(requests_json))
+      .set("progress", stream_progress);
+  const Json response = transact(std::move(message), on_event);
+  if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
+    const Json* error = response.find("error");
+    throw RemoteError(error != nullptr && error->is_string()
+                          ? error->as_string()
+                          : "server rejected the batch");
+  }
+  const Json* reports_json = response.find("reports");
+  if (reports_json == nullptr || !reports_json->is_array()) {
+    throw RemoteError("malformed response: missing 'reports'");
+  }
+  std::vector<api::RunReport> reports;
+  reports.reserve(reports_json->as_array().size());
+  for (std::size_t i = 0; i < reports_json->as_array().size(); ++i) {
+    const Json& entry = reports_json->as_array()[i];
+    if (const Json* error = entry.find("error")) {
+      const std::string label =
+          i < requests.size() ? requests[i].label_or_default()
+                              : std::to_string(i);
+      throw RemoteError("run '" + label + "' failed: " + error->as_string());
+    }
+    reports.push_back(api::report_from_json(entry));
+  }
+  return reports;
+}
+
+bool Client::ping() {
+  try {
+    Json message = Json::object();
+    message.set("verb", "ping");
+    const Json response = transact(std::move(message), nullptr);
+    const Json* ok = response.find("ok");
+    return ok != nullptr && ok->as_bool();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Json Client::list_algorithms() {
+  Json message = Json::object();
+  message.set("verb", "list_algorithms");
+  const Json response = transact(std::move(message), nullptr);
+  const Json* algorithms = response.find("algorithms");
+  if (algorithms == nullptr) {
+    throw RemoteError("malformed response: missing 'algorithms'");
+  }
+  return *algorithms;
+}
+
+std::vector<std::string> Client::list_problems() {
+  Json message = Json::object();
+  message.set("verb", "list_problems");
+  const Json response = transact(std::move(message), nullptr);
+  const Json* problems = response.find("problems");
+  if (problems == nullptr || !problems->is_array()) {
+    throw RemoteError("malformed response: missing 'problems'");
+  }
+  std::vector<std::string> out;
+  out.reserve(problems->as_array().size());
+  for (const auto& name : problems->as_array()) {
+    out.push_back(name.as_string());
+  }
+  return out;
+}
+
+Json Client::cache_stats() {
+  Json message = Json::object();
+  message.set("verb", "cache_stats");
+  return transact(std::move(message), nullptr);
+}
+
+void Client::shutdown_server() {
+  Json message = Json::object();
+  message.set("verb", "shutdown");
+  transact(std::move(message), nullptr);
+}
+
+}  // namespace moela::serve

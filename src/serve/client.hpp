@@ -1,0 +1,79 @@
+// Client side of the moela_serve protocol: connects to a daemon, submits
+// RunRequest batches, and yields RunReports that are bit-identical to the
+// ones a local Executor would have produced (the wire carries hexfloat
+// doubles end to end). Used by `moela_cli --connect` and the serve tests;
+// the protocol itself is documented in serve/protocol.hpp.
+//
+// One Client is one connection and is NOT thread-safe: calls are issued
+// and awaited sequentially (the daemon multiplexes many clients, not one
+// client many threads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/optimizer.hpp"
+#include "api/request.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace moela::serve {
+
+/// A server-reported failure ({"ok":false} or a per-report error entry).
+class RemoteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port. Throws std::runtime_error when the daemon is
+  /// unreachable.
+  void connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void disconnect();
+
+  /// Called for each streamed event line ("progress" / "finished") while
+  /// a run() is in flight.
+  using EventHandler = std::function<void(const util::Json& event)>;
+
+  /// Submits the batch and blocks until the final response. Reports come
+  /// back index-aligned with `requests`. `stream_progress` additionally
+  /// requests snapshot-cadence progress events. Throws RemoteError when
+  /// the server rejected the batch or any run failed, and
+  /// std::runtime_error when the connection drops.
+  std::vector<api::RunReport> run(
+      const std::vector<api::RunRequest>& requests,
+      bool stream_progress = false, EventHandler on_event = nullptr);
+
+  /// True when the daemon answers a ping.
+  bool ping();
+  /// {"name", "knobs": [...]} per registered algorithm.
+  util::Json list_algorithms();
+  std::vector<std::string> list_problems();
+  /// The daemon's cache/runs counters (cache_stats verb).
+  util::Json cache_stats();
+  /// Asks the daemon to drain and exit.
+  void shutdown_server();
+
+ private:
+  /// Sends one verb object (assigning the id) and reads lines until the
+  /// matching final response; event lines go to `on_event`.
+  util::Json transact(util::Json message, const EventHandler& on_event);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace moela::serve

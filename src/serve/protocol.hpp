@@ -1,0 +1,91 @@
+// moela_serve wire protocol: line-delimited JSON over TCP, one object per
+// line in each direction. Shared by the server (serve/server.hpp) and the
+// client (serve/client.hpp); the full reference lives in README.md's
+// "Serving" section.
+//
+// Client → server, each line an object with a client-chosen "id" (echoed
+// back on every response line) and a "verb":
+//
+//   {"id":1,"verb":"ping"}
+//   {"id":2,"verb":"list_algorithms"}
+//   {"id":3,"verb":"list_problems"}
+//   {"id":4,"verb":"cache_stats"}
+//   {"id":5,"verb":"run","requests":[<RunRequest JSON, api/serde.hpp>,...],
+//    "progress":true}
+//   {"id":6,"verb":"shutdown"}
+//
+// Server → client, every line tagged with the request's "id":
+//
+//   * streamed events while a "run" is in flight (an "event" field is
+//     present; "progress" fires at the snapshot cadence only when the
+//     request asked for it, "finished" fires once per completed run):
+//       {"id":5,"event":"progress","label":...,"algorithm":...,
+//        "evaluations":...,"max_evaluations":...,"seconds":...}
+//       {"id":5,"event":"finished","label":...,"completed":k,"total":n,
+//        "evaluations":...,"seconds":...,"cache_hit":false}
+//   * exactly one final response ("ok" present, no "event"):
+//       {"id":5,"ok":true,"reports":[<RunReport JSON>|{"error":...},...]}
+//       {"id":5,"ok":false,"error":"..."}
+//
+// Verbs on one connection may be answered out of submission order ("run"
+// executes asynchronously; everything else answers inline) — the "id" is
+// the correlation, not the line order. Requests are capped at
+// kMaxLineBytes per line; a connection that exceeds it is dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace moela::serve {
+
+/// Default TCP port of moela_serve.
+inline constexpr int kDefaultPort = 7313;
+
+/// Protocol revision, reported by the "ping" verb. Bump on breaking wire
+/// changes.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one framed line (requests can carry whole batches, and
+/// responses whole report sets, so this is generous).
+inline constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+/// Buffered '\n'-framed reads over a socket/pipe fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line_bytes = kMaxLineBytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
+
+  /// Reads one line into `out` (terminator stripped). Returns false on
+  /// EOF, a read error, or an over-long line — all of which end the
+  /// conversation.
+  bool read_line(std::string& out);
+
+ private:
+  int fd_;
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t scanned_ = 0;
+};
+
+/// Writes `line` + '\n' fully (handles short writes; suppresses SIGPIPE).
+/// Returns false once the peer is gone.
+bool send_line(int fd, const std::string& line);
+
+/// Serializes and sends one protocol object.
+inline bool send_json(int fd, const util::Json& json) {
+  return send_line(fd, json.dump());
+}
+
+/// Parses "host:port" / ":port" / "host" / "port". Empty host means
+/// 127.0.0.1; a missing port means kDefaultPort. Returns false on a
+/// malformed port.
+bool parse_host_port(const std::string& spec, std::string& host, int& port);
+
+/// Protocol message builders (id-tagged).
+util::Json make_error(std::uint64_t id, const std::string& message);
+util::Json make_ok(std::uint64_t id);
+
+}  // namespace moela::serve

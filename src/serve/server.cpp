@@ -1,0 +1,475 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "api/problems.hpp"
+#include "api/registry.hpp"
+#include "api/serde.hpp"
+#include "util/log.hpp"
+
+namespace moela::serve {
+namespace {
+
+using util::Json;
+
+/// Best-effort id extraction so even a malformed verb object gets a
+/// correlated error response.
+std::uint64_t message_id(const Json& message) {
+  if (const Json* id = message.find("id")) {
+    try {
+      return id->as_u64();
+    } catch (const util::JsonError&) {
+    }
+  }
+  return 0;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(ServeConfig config)
+    : config_(std::move(config)),
+      cache_(config_.use_cache
+                 ? (config_.cache_dir.empty()
+                        ? api::ResultCache::default_disk_dir()
+                        : config_.cache_dir)
+                 : std::string()) {
+  api::ExecutorConfig executor_config;
+  executor_config.jobs = config_.jobs;
+  executor_config.cache = config_.use_cache ? &cache_ : nullptr;
+  executor_config.run_log = config_.run_log;
+  executor_ = std::make_unique<api::Executor>(executor_config);
+}
+
+Server::~Server() {
+  request_shutdown();
+  wait();
+}
+
+void Server::start() {
+  if (started_) throw std::runtime_error("Server: already started");
+
+  if (::pipe(signal_pipe_) != 0) {
+    throw std::runtime_error("Server: pipe() failed");
+  }
+  ::fcntl(signal_pipe_[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(signal_pipe_[1], F_SETFD, FD_CLOEXEC);
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string port_text = std::to_string(config_.port);
+  if (::getaddrinfo(config_.host.c_str(), port_text.c_str(), &hints,
+                    &resolved) != 0 ||
+      resolved == nullptr) {
+    throw std::runtime_error("Server: cannot resolve host '" + config_.host +
+                             "'");
+  }
+  listen_fd_ = ::socket(resolved->ai_family, resolved->ai_socktype,
+                        resolved->ai_protocol);
+  if (listen_fd_ < 0) {
+    ::freeaddrinfo(resolved);
+    throw std::runtime_error("Server: socket() failed");
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  const int bind_rc =
+      ::bind(listen_fd_, resolved->ai_addr, resolved->ai_addrlen);
+  ::freeaddrinfo(resolved);
+  if (bind_rc != 0 || ::listen(listen_fd_, 128) != 0) {
+    const std::string what = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw std::runtime_error("Server: cannot listen on " + config_.host +
+                             ":" + port_text + " (" + what + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config_.port;
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  watcher_thread_ = std::thread([this] { watcher_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (drain) or fatal error
+    }
+    if (shutdown_requested()) {
+      ::close(fd);
+      break;
+    }
+    reap_connections();
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.emplace_back(connection, std::thread([this, connection] {
+                                serve_connection(connection);
+                              }));
+    if (shutdown_requested()) {
+      // begin_drain() may have run between accept() and the emplace above
+      // and missed this connection; nudge its reader ourselves (stop_ is
+      // set before the watcher drains, so one of the two always sees it).
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+}
+
+void Server::watcher_loop() {
+  for (;;) {
+    char wakeups[64];
+    ssize_t n;
+    do {
+      n = ::read(signal_pipe_[0], wakeups, sizeof(wakeups));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0 || watcher_exit_.load(std::memory_order_relaxed)) return;
+    if (shutdown_requested()) begin_drain();
+    if (hard_stop_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      for (api::RunControl* control : active_controls_) {
+        control->request_stop();
+      }
+    }
+  }
+}
+
+void Server::begin_drain() {
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (auto& [connection, thread] : connections_) {
+    // Nudge idle readers; batch responses still flow (write side stays
+    // open) and each reader exits once its batches are joined.
+    if (!connection->done.load(std::memory_order_relaxed)) {
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+}
+
+void Server::reap_connections() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->first->done.load(std::memory_order_acquire) &&
+        it->second.joinable()) {
+      it->second.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  if (!started_ || joined_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connections can appear past this point.
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> remaining;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mutex_);
+    remaining.swap(connections_);
+  }
+  for (auto& [connection, thread] : remaining) {
+    if (thread.joinable()) thread.join();
+  }
+  watcher_exit_.store(true, std::memory_order_relaxed);
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t ignored = ::write(signal_pipe_[1], &byte, 1);
+  if (watcher_thread_.joinable()) watcher_thread_.join();
+  close_fd(listen_fd_);
+  close_fd(signal_pipe_[0]);
+  close_fd(signal_pipe_[1]);
+  joined_ = true;
+}
+
+void Server::request_shutdown() { signal_shutdown(); }
+
+void Server::signal_shutdown() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (signal_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] ssize_t ignored = ::write(signal_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::signal_hard_stop() {
+  hard_stop_.store(true, std::memory_order_relaxed);
+  signal_shutdown();
+}
+
+void Server::serve_connection(const std::shared_ptr<Connection>& connection) {
+  LineReader reader(connection->fd);
+  std::string line;
+  while (reader.read_line(line)) {
+    if (line.empty()) continue;
+    handle_line(connection, line);
+  }
+  // Reader is done (EOF, error, or drain nudge): finish in-flight batches
+  // so their responses go out, then close.
+  std::vector<std::pair<std::shared_ptr<std::atomic<bool>>, std::thread>>
+      batches;
+  {
+    std::lock_guard<std::mutex> lock(connection->batch_mutex);
+    batches.swap(connection->batches);
+  }
+  for (auto& [done, thread] : batches) {
+    if (thread.joinable()) thread.join();
+  }
+  // Close under conn_mutex_ so begin_drain() can never shutdown() an fd
+  // number the OS has already reused.
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  ::close(connection->fd);
+  connection->done.store(true, std::memory_order_release);
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& connection,
+                         const std::string& line) {
+  std::string parse_error;
+  const auto message = Json::try_parse(line, &parse_error);
+  auto respond = [&](const Json& response) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    send_json(connection->fd, response);
+  };
+  if (!message.has_value()) {
+    respond(make_error(0, "bad JSON: " + parse_error));
+    return;
+  }
+  const std::uint64_t id = message_id(*message);
+  if (!message->is_object()) {
+    respond(make_error(id, "request must be a JSON object"));
+    return;
+  }
+  std::string verb;
+  if (const Json* v = message->find("verb"); v != nullptr && v->is_string()) {
+    verb = v->as_string();
+  }
+
+  if (verb == "ping") {
+    Json response = make_ok(id);
+    response.set("server", "moela_serve")
+        .set("protocol", kProtocolVersion)
+        .set("jobs", executor_->jobs());
+    respond(response);
+  } else if (verb == "list_algorithms") {
+    Json algorithms = Json::array();
+    for (const auto& name : api::registry().names()) {
+      Json entry = Json::object();
+      Json knobs = Json::array();
+      for (const auto& knob : api::registry().knob_keys(name)) {
+        knobs.append(knob);
+      }
+      entry.set("name", name).set("knobs", std::move(knobs));
+      algorithms.append(std::move(entry));
+    }
+    Json response = make_ok(id);
+    response.set("algorithms", std::move(algorithms));
+    respond(response);
+  } else if (verb == "list_problems") {
+    Json problems = Json::array();
+    for (const auto& name : api::problem_names()) problems.append(name);
+    Json response = make_ok(id);
+    response.set("problems", std::move(problems));
+    respond(response);
+  } else if (verb == "cache_stats") {
+    Json cache = Json::object();
+    cache.set("enabled", config_.use_cache);
+    if (config_.use_cache) {
+      const api::ResultCache::Stats stats = cache_.stats();
+      cache.set("dir", cache_.disk_dir())
+          .set("max_disk_bytes",
+               static_cast<std::uint64_t>(cache_.max_disk_bytes()))
+          .set("memory_hits", stats.memory_hits)
+          .set("disk_hits", stats.disk_hits)
+          .set("misses", stats.misses)
+          .set("stores", stats.stores)
+          .set("evictions", stats.evictions);
+    }
+    Json response = make_ok(id);
+    response.set("cache", std::move(cache))
+        .set("runs_handled", runs_handled());
+    respond(response);
+  } else if (verb == "run") {
+    handle_run(connection, id, *message);
+  } else if (verb == "shutdown") {
+    Json response = make_ok(id);
+    response.set("shutting_down", true);
+    respond(response);
+    util::log_info() << "moela_serve: shutdown requested by client";
+    request_shutdown();
+  } else {
+    respond(make_error(id, verb.empty() ? "missing verb"
+                                        : "unknown verb '" + verb + "'"));
+  }
+}
+
+void Server::handle_run(const std::shared_ptr<Connection>& connection,
+                        std::uint64_t id, const Json& message) {
+  auto respond_error = [&](const std::string& error) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    send_json(connection->fd, make_error(id, error));
+  };
+  if (shutdown_requested()) {
+    respond_error("server is shutting down");
+    return;
+  }
+  const Json* requests_json = message.find("requests");
+  if (requests_json == nullptr || !requests_json->is_array() ||
+      requests_json->as_array().empty()) {
+    respond_error("run: 'requests' must be a non-empty array");
+    return;
+  }
+  std::vector<api::RunRequest> requests;
+  requests.reserve(requests_json->as_array().size());
+  try {
+    for (const auto& entry : requests_json->as_array()) {
+      requests.push_back(api::request_from_json(entry));
+    }
+  } catch (const util::JsonError& e) {
+    respond_error(std::string("run: ") + e.what());
+    return;
+  }
+  // Validate algorithm keys up front: one typo should fail the batch with
+  // a clear error, not surface as N identical per-report errors.
+  for (const auto& request : requests) {
+    if (!api::registry().contains(request.algorithm)) {
+      respond_error("run: unknown algorithm '" + request.algorithm + "'");
+      return;
+    }
+  }
+  bool stream_progress = false;
+  if (const Json* p = message.find("progress");
+      p != nullptr && p->is_bool()) {
+    stream_progress = p->as_bool();
+  }
+
+  // The in-flight bound: reserve slots or reject.
+  const std::size_t batch_size = requests.size();
+  std::size_t inflight = connection->inflight.load(std::memory_order_relaxed);
+  for (;;) {
+    if (inflight + batch_size > config_.max_inflight) {
+      respond_error("run: in-flight limit exceeded (" +
+                    std::to_string(inflight) + " queued + " +
+                    std::to_string(batch_size) + " requested > " +
+                    std::to_string(config_.max_inflight) + ")");
+      return;
+    }
+    if (connection->inflight.compare_exchange_weak(
+            inflight, inflight + batch_size, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(connection->batch_mutex);
+  // Reap finished dispatcher threads so a long-lived connection does not
+  // accumulate them.
+  for (auto it = connection->batches.begin();
+       it != connection->batches.end();) {
+    if (it->first->load(std::memory_order_acquire) && it->second.joinable()) {
+      it->second.join();
+      it = connection->batches.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  std::thread dispatcher([this, connection, id,
+                          requests = std::move(requests), stream_progress,
+                          done]() mutable {
+    run_batch(connection, id, std::move(requests), stream_progress);
+    done->store(true, std::memory_order_release);
+  });
+  connection->batches.emplace_back(std::move(done), std::move(dispatcher));
+}
+
+void Server::run_batch(std::shared_ptr<Connection> connection,
+                       std::uint64_t id,
+                       std::vector<api::RunRequest> requests,
+                       bool stream_progress) {
+  const std::size_t batch_size = requests.size();
+  std::vector<std::string> labels;
+  labels.reserve(batch_size);
+  for (const auto& request : requests) {
+    labels.push_back(request.label_or_default());
+  }
+
+  api::RunControl control;
+  control.on_progress([&](const api::RunProgress& progress) {
+    if (!progress.finished && !stream_progress) return;
+    Json event = Json::object();
+    event.set("id", id)
+        .set("event", progress.finished ? "finished" : "progress")
+        .set("index", progress.batch_index)
+        .set("label", progress.batch_index < labels.size()
+                          ? labels[progress.batch_index]
+                          : std::string())
+        .set("algorithm", progress.algorithm)
+        .set("evaluations", progress.evaluations)
+        .set("max_evaluations", progress.max_evaluations)
+        .set("seconds", progress.seconds);
+    if (progress.finished) {
+      event.set("completed", progress.completed)
+          .set("total", progress.batch_size)
+          .set("cache_hit", progress.cache_hit);
+    }
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    send_json(connection->fd, event);
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    active_controls_.insert(&control);
+    if (hard_stop_.load(std::memory_order_relaxed)) control.request_stop();
+  }
+
+  auto futures = executor_->submit(std::move(requests), &control);
+  Json reports = Json::array();
+  for (auto& future : futures) {
+    try {
+      reports.append(api::report_to_json(future.get()));
+    } catch (const std::exception& e) {
+      Json error = Json::object();
+      error.set("error", e.what());
+      reports.append(std::move(error));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    active_controls_.erase(&control);
+  }
+
+  runs_handled_.fetch_add(batch_size, std::memory_order_relaxed);
+  Json response = make_ok(id);
+  response.set("reports", std::move(reports));
+  {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    send_json(connection->fd, response);
+  }
+  connection->inflight.fetch_sub(batch_size, std::memory_order_relaxed);
+}
+
+}  // namespace moela::serve

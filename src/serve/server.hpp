@@ -1,0 +1,170 @@
+// The moela_serve daemon core: a long-lived TCP server that multiplexes
+// line-delimited JSON requests (serve/protocol.hpp) onto ONE shared
+// api::Executor backed by ONE process-lifetime api::ResultCache — so every
+// connection benefits from every other connection's completed runs, and a
+// repeated request is answered without re-running. Results are bit-identical
+// to inline execution for fixed seeds: the daemon adds serialization
+// (api/serde.hpp), not arithmetic.
+//
+// Threading model:
+//   * one accept thread;
+//   * one reader thread per connection (verbs other than "run" answer
+//     inline);
+//   * one dispatcher thread per "run" batch, which submits to the shared
+//     Executor's worker pool and streams progress events back on the
+//     submitting connection (writes serialized by a per-connection mutex);
+//   * one watcher thread parked on a self-pipe, the async-signal-safe
+//     bridge from SIGINT/SIGTERM to an orderly drain.
+//
+// Shutdown ladder: request_shutdown()/signal_shutdown() stop the accept
+// loop, reject new "run" verbs, nudge idle readers (SHUT_RD), and let
+// in-flight batches finish and deliver their responses. signal_hard_stop()
+// additionally flips every active batch's RunControl, so in-flight runs
+// wind down at their next budget check with partial (cancelled) reports.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/result_cache.hpp"
+#include "api/run_log.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace moela::serve {
+
+struct ServeConfig {
+  /// Bind address; "0.0.0.0" serves non-local clients.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  int port = kDefaultPort;
+  /// Executor worker threads; 0 = all cores.
+  std::size_t jobs = 0;
+  /// Result cache: on by default, disk tier under `cache_dir` (empty =
+  /// ResultCache::default_disk_dir()).
+  bool use_cache = true;
+  std::string cache_dir;
+  /// Per-connection bound on runs queued or running at once; a "run" verb
+  /// that would exceed it is rejected with an error response.
+  std::size_t max_inflight = 256;
+  /// Optional per-run JSONL logger (not owned). Null falls back to
+  /// $MOELA_RUN_LOG via the Executor.
+  api::RunLogger* run_log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServeConfig config);
+  /// Drains and joins everything (equivalent to request_shutdown() +
+  /// wait()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept/watcher threads. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void start();
+
+  /// The bound port (resolves config.port == 0 after start()).
+  int port() const { return port_; }
+
+  /// Blocks until the server has fully shut down (accept loop exited,
+  /// connections drained, all threads joined). Idempotent.
+  void wait();
+
+  /// Graceful shutdown from normal (non-signal) context: stop accepting,
+  /// reject new runs, drain in-flight work. Returns immediately.
+  void request_shutdown();
+
+  /// Async-signal-safe graceful shutdown (atomic store + self-pipe write);
+  /// what a SIGINT/SIGTERM handler should call.
+  void signal_shutdown();
+
+  /// Async-signal-safe escalation: also cancel in-flight runs via their
+  /// RunControls (performed by the watcher thread; runs stop at their next
+  /// budget check and still report, marked cancelled).
+  void signal_hard_stop();
+
+  bool shutdown_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Shared cache (for stats); nullptr when the cache is disabled.
+  api::ResultCache* cache() {
+    return config_.use_cache ? &cache_ : nullptr;
+  }
+
+  /// Total runs executed or served from cache since start (for tests and
+  /// the cache_stats verb).
+  std::uint64_t runs_handled() const {
+    return runs_handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    const int fd;
+    /// Serializes response/event lines from concurrent batch threads.
+    std::mutex write_mutex;
+    /// Runs queued or running on this connection (the in-flight bound).
+    std::atomic<std::size_t> inflight{0};
+    /// Batch dispatcher threads, reaped as they finish and joined on
+    /// connection close.
+    std::mutex batch_mutex;
+    std::vector<std::pair<std::shared_ptr<std::atomic<bool>>, std::thread>>
+        batches;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void watcher_loop();
+  void serve_connection(const std::shared_ptr<Connection>& connection);
+  void handle_line(const std::shared_ptr<Connection>& connection,
+                   const std::string& line);
+  void handle_run(const std::shared_ptr<Connection>& connection,
+                  std::uint64_t id, const util::Json& message);
+  void run_batch(std::shared_ptr<Connection> connection, std::uint64_t id,
+                 std::vector<api::RunRequest> requests, bool stream_progress);
+  /// Stops the listener and nudges idle connection readers; safe to call
+  /// repeatedly, from the watcher or teardown.
+  void begin_drain();
+  void reap_connections();
+
+  ServeConfig config_;
+  api::ResultCache cache_;
+  std::unique_ptr<api::Executor> executor_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int signal_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  std::thread watcher_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>>
+      connections_;
+
+  /// Active per-batch controls, so a hard stop can cancel in-flight runs.
+  std::mutex control_mutex_;
+  std::set<api::RunControl*> active_controls_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> hard_stop_{false};
+  std::atomic<bool> watcher_exit_{false};
+  std::atomic<std::uint64_t> runs_handled_{0};
+  bool started_ = false;
+  bool joined_ = false;
+  std::mutex wait_mutex_;
+};
+
+}  // namespace moela::serve

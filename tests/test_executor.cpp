@@ -6,12 +6,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/executor.hpp"
@@ -19,7 +22,9 @@
 #include "api/registry.hpp"
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
+#include "api/run_log.hpp"
 #include "noc/design.hpp"
+#include "util/json.hpp"
 
 namespace moela::api {
 namespace {
@@ -440,6 +445,96 @@ TEST(KnobKeys, UndeclaredOptimizerSuppressesWarnings) {
   knobs.set("whatever.key", 1.0);
   EXPECT_TRUE(
       registry().unknown_knob_keys(knobs, {"test-undeclared-opt"}).empty());
+}
+
+// --- ResultCache: disk size cap / LRU eviction ----------------------------
+
+TEST(ResultCache, DiskTierEvictsLeastRecentlyUsed) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "moela-lru-cache";
+  fs::remove_all(dir);
+
+  RunReport report;
+  report.algorithm = "X";
+  report.final_front = {{1.0, 2.0}};
+  report.final_objectives = {{1.0, 2.0}};
+  report.evaluations = 10;
+
+  ResultCache writer(dir.string());
+  writer.set_max_disk_bytes(0);  // no cap while seeding
+  writer.store("key-a", report);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  writer.store("key-b", report);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto entry_bytes = fs::file_size(
+      dir / (ResultCache::hash_key("key-a") + ".moela"));
+
+  // Touch key-a from a FRESH cache (disk hit → recency bump); the memory
+  // tier of `writer` would otherwise satisfy the lookup without touching
+  // the file.
+  {
+    ResultCache reader(dir.string());
+    EXPECT_TRUE(reader.lookup("key-a").has_value());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Cap fits two entries; storing the third must evict the least recently
+  // USED one — key-b, not the just-bumped key-a.
+  writer.set_max_disk_bytes(entry_bytes * 2 + entry_bytes / 2);
+  writer.store("key-c", report);
+  EXPECT_GE(writer.stats().evictions, 1u);
+
+  ResultCache reader(dir.string());
+  EXPECT_TRUE(reader.lookup("key-a").has_value());
+  EXPECT_FALSE(reader.lookup("key-b").has_value());
+  EXPECT_TRUE(reader.lookup("key-c").has_value());
+}
+
+// --- Executor: per-run structured logs ------------------------------------
+
+TEST(Executor, RunLogWritesOneJsonlRecordPerRun) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(testing::TempDir()) / "moela-run-log.jsonl";
+  fs::remove(path);
+
+  RunLogger logger(path.string());
+  ASSERT_TRUE(logger.ok());
+  std::vector<RunRequest> requests = {zdt1_request("moela", 5),
+                                      zdt1_request("nsga2", 6)};
+  RunRequest bad = zdt1_request("moela", 7);
+  bad.algorithm = "no-such-algorithm";
+  requests.push_back(bad);
+
+  ExecutorConfig config;
+  config.jobs = 2;
+  config.run_log = &logger;
+  Executor executor(config);
+  auto futures = executor.submit(std::move(requests));
+  EXPECT_NO_THROW(futures[0].get());
+  EXPECT_NO_THROW(futures[1].get());
+  EXPECT_THROW(futures[2].get(), std::exception);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t ok_records = 0, error_records = 0;
+  while (std::getline(in, line)) {
+    const util::Json record = util::Json::parse(line);  // valid JSON/line
+    const std::string status = record.find("status")->as_string();
+    if (status == "ok") {
+      ++ok_records;
+      EXPECT_EQ(record.find("evaluations")->as_u64(), 600u);
+      EXPECT_FALSE(record.find("cache_hit")->as_bool());
+      EXPECT_FALSE(record.find("label")->as_string().empty());
+    } else {
+      ++error_records;
+      EXPECT_EQ(status, "error");
+      EXPECT_NE(record.find("error")->as_string().find("no-such-algorithm"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(ok_records, 2u);
+  EXPECT_EQ(error_records, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+// Tests for the RunRequest / RunReport JSON serde (api/serde.hpp): full
+// field round-trips (including knobs, problem options, provenance and the
+// three design codecs), bit-exact doubles through the wire form, and the
+// validation errors for malformed requests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/serde.hpp"
+#include "noc/design.hpp"
+#include "noc/generator.hpp"
+#include "noc/platform.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace moela::api {
+namespace {
+
+using util::Json;
+
+RunRequest sample_request() {
+  RunRequest request;
+  request.problem = "noc";
+  request.problem_options.num_objectives = 5;
+  request.problem_options.num_variables = 7;
+  request.problem_options.seed = 3;
+  request.problem_options.app = "SRAD";
+  request.problem_options.small_platform = true;
+  request.algorithm = "moela";
+  request.options.max_evaluations = 1234;
+  request.options.max_seconds = 1.0 / 3.0;  // not representable in decimal
+  request.options.snapshot_interval = 77;
+  request.options.seed = (1ull << 60) + 9;  // above double's exact range
+  request.options.population_size = 24;
+  request.options.n_local = 4;
+  request.options.knobs.set("moela.delta", 0.9).set("moela.forest.trees", 8);
+  request.need_designs = true;
+  request.label = "unit:test";
+  return request;
+}
+
+TEST(RequestSerde, RoundTripsEveryField) {
+  const RunRequest original = sample_request();
+  const RunRequest back =
+      request_from_json(Json::parse(request_to_json(original).dump()));
+
+  EXPECT_EQ(back.problem, original.problem);
+  EXPECT_EQ(back.algorithm, original.algorithm);
+  EXPECT_EQ(back.problem_options.num_objectives,
+            original.problem_options.num_objectives);
+  EXPECT_EQ(back.problem_options.num_variables,
+            original.problem_options.num_variables);
+  EXPECT_EQ(back.problem_options.seed, original.problem_options.seed);
+  EXPECT_EQ(back.problem_options.app, original.problem_options.app);
+  EXPECT_EQ(back.problem_options.small_platform,
+            original.problem_options.small_platform);
+  EXPECT_EQ(back.options.max_evaluations, original.options.max_evaluations);
+  EXPECT_EQ(back.options.max_seconds, original.options.max_seconds);
+  EXPECT_EQ(back.options.snapshot_interval,
+            original.options.snapshot_interval);
+  EXPECT_EQ(back.options.seed, original.options.seed);
+  EXPECT_EQ(back.options.population_size, original.options.population_size);
+  EXPECT_EQ(back.options.n_local, original.options.n_local);
+  EXPECT_EQ(back.options.knobs.values(), original.options.knobs.values());
+  EXPECT_EQ(back.need_designs, original.need_designs);
+  EXPECT_EQ(back.label, original.label);
+
+  // The decisive invariant: identical cache keys, so a request routed
+  // through the daemon hits the same cache entries as an inline one.
+  EXPECT_EQ(back.cache_key(), original.cache_key());
+}
+
+TEST(RequestSerde, DefaultsApplyForAbsentFields) {
+  const RunRequest back = request_from_json(
+      Json::parse(R"({"problem":"zdt1","algorithm":"nsga2"})"));
+  const RunRequest defaults;
+  EXPECT_EQ(back.options.max_evaluations, defaults.options.max_evaluations);
+  EXPECT_EQ(back.options.seed, defaults.options.seed);
+  EXPECT_EQ(back.problem_options.app, defaults.problem_options.app);
+  EXPECT_FALSE(back.need_designs);
+}
+
+TEST(RequestSerde, PlainDecimalNumbersAreAccepted) {
+  // Hand-written requests use ordinary literals, not hexfloat strings.
+  const RunRequest back = request_from_json(Json::parse(
+      R"({"problem":"zdt1","algorithm":"moela",
+          "options":{"seconds":1.5,"knobs":{"moela.delta":0.25}}})"));
+  EXPECT_EQ(back.options.max_seconds, 1.5);
+  EXPECT_EQ(back.options.knobs.get_or("moela.delta", 0.0), 0.25);
+}
+
+TEST(RequestSerde, RejectsMissingProblemOrAlgorithm) {
+  EXPECT_THROW(request_from_json(Json::parse(R"({"algorithm":"x"})")),
+               util::JsonError);
+  EXPECT_THROW(request_from_json(Json::parse(R"({"problem":"zdt1"})")),
+               util::JsonError);
+  EXPECT_THROW(
+      request_from_json(Json::parse(
+          R"({"problem":"zdt1","algorithm":"x","options":{"evals":"NaN"}})")),
+      util::JsonError);
+}
+
+void expect_bit_identical(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.final_front, b.final_front);
+  EXPECT_EQ(a.final_objectives, b.final_objectives);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.seconds, b.seconds);
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (std::size_t i = 0; i < a.snapshots.size(); ++i) {
+    EXPECT_EQ(a.snapshots[i].evaluations, b.snapshots[i].evaluations);
+    EXPECT_EQ(a.snapshots[i].seconds, b.snapshots[i].seconds);
+    EXPECT_EQ(a.snapshots[i].front, b.snapshots[i].front);
+  }
+  EXPECT_EQ(a.provenance.problem, b.provenance.problem);
+  EXPECT_EQ(a.provenance.algorithm_key, b.provenance.algorithm_key);
+  EXPECT_EQ(a.provenance.seed, b.provenance.seed);
+  EXPECT_EQ(a.provenance.knobs, b.provenance.knobs);
+  EXPECT_EQ(a.provenance.cache_key, b.provenance.cache_key);
+  EXPECT_EQ(a.provenance.cache_hit, b.provenance.cache_hit);
+  EXPECT_EQ(a.provenance.cancelled, b.provenance.cancelled);
+}
+
+/// Runs a real optimizer so the report carries genuine snapshots, fronts
+/// and designs of the given problem family.
+RunReport run_report(const std::string& problem, const std::string& algo) {
+  RunRequest request;
+  request.problem = problem;
+  request.algorithm = algo;
+  request.options.max_evaluations = 400;
+  request.options.snapshot_interval = 100;
+  request.options.population_size = 12;
+  request.options.n_local = 2;
+  Executor executor({.jobs = 1});
+  return executor.run_all({request}).front();
+}
+
+TEST(ReportSerde, RealDesignsRoundTripBitIdentical) {
+  const RunReport original = run_report("zdt1", "nsga2");
+  ASSERT_FALSE(original.final_designs.empty());
+  const RunReport back =
+      report_from_json(Json::parse(report_to_json(original).dump()));
+  expect_bit_identical(original, back);
+  EXPECT_EQ(back.designs_as<std::vector<double>>(),
+            original.designs_as<std::vector<double>>());
+}
+
+TEST(ReportSerde, BinaryDesignsRoundTrip) {
+  const RunReport original = run_report("knapsack", "nsga2");
+  ASSERT_FALSE(original.final_designs.empty());
+  const RunReport back =
+      report_from_json(Json::parse(report_to_json(original).dump()));
+  expect_bit_identical(original, back);
+  EXPECT_EQ(back.designs_as<std::vector<std::uint8_t>>(),
+            original.designs_as<std::vector<std::uint8_t>>());
+}
+
+TEST(ReportSerde, NocDesignsRoundTrip) {
+  RunReport original;
+  original.algorithm = "hand-built";
+  const noc::PlatformSpec spec = noc::PlatformSpec::small_3x3x3();
+  const noc::DesignOps ops(spec);
+  util::Rng rng(7);
+  original.final_designs.push_back(
+      AnyDesign::wrap<noc::NocDesign>(ops.random_design(rng)));
+  original.final_objectives.push_back({1.0, 2.0});
+  const RunReport back =
+      report_from_json(Json::parse(report_to_json(original).dump()));
+  ASSERT_EQ(back.final_designs.size(), 1u);
+  EXPECT_EQ(back.designs_as<noc::NocDesign>().front(),
+            original.designs_as<noc::NocDesign>().front());
+}
+
+TEST(ReportSerde, UnknownDesignTypeDegradesToNone) {
+  RunReport original;
+  original.algorithm = "custom";
+  original.final_designs.push_back(AnyDesign::wrap<int>(7));
+  const RunReport back =
+      report_from_json(Json::parse(report_to_json(original).dump()));
+  EXPECT_TRUE(back.final_designs.empty());  // payload dropped, not garbled
+  EXPECT_EQ(back.algorithm, "custom");
+}
+
+}  // namespace
+}  // namespace moela::api

@@ -1,0 +1,265 @@
+// Tests for the moela_serve daemon (src/serve/): an in-process Server on
+// an ephemeral port driven by the real Client over a real socket. The
+// heart is the acceptance property of the serving subsystem — a RunReport
+// received through the daemon is bit-identical to the one a direct
+// Executor call produces (modulo the cache provenance flags) — plus the
+// auxiliary verbs, progress streaming, the per-connection in-flight bound,
+// error answers, and the shutdown drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/problems.hpp"
+#include "api/registry.hpp"
+#include "api/request.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace moela::serve {
+namespace {
+
+using util::Json;
+
+api::RunRequest zdt1_request(const std::string& algorithm,
+                             std::uint64_t seed = 5) {
+  api::RunRequest request;
+  request.problem = "zdt1";
+  request.problem_options.num_variables = 10;
+  request.algorithm = algorithm;
+  request.options.max_evaluations = 600;
+  request.options.snapshot_interval = 200;
+  request.options.seed = seed;
+  request.options.population_size = 12;
+  request.options.n_local = 3;
+  return request;
+}
+
+/// A Server on 127.0.0.1:<ephemeral>, plus a connected Client.
+struct ServerFixture {
+  explicit ServerFixture(ServeConfig config = {}) {
+    config.host = "127.0.0.1";
+    config.port = 0;
+    if (config.use_cache && config.cache_dir.empty()) {
+      config.use_cache = false;  // tests opt into the cache explicitly
+    }
+    server = std::make_unique<Server>(config);
+    server->start();
+    client.connect("127.0.0.1", server->port());
+  }
+
+  std::unique_ptr<Server> server;
+  Client client;
+};
+
+void expect_equal_modulo_cache(const api::RunReport& direct,
+                               const api::RunReport& served) {
+  EXPECT_EQ(served.algorithm, direct.algorithm);
+  EXPECT_EQ(served.final_front, direct.final_front);
+  EXPECT_EQ(served.final_objectives, direct.final_objectives);
+  EXPECT_EQ(served.evaluations, direct.evaluations);
+  ASSERT_EQ(served.snapshots.size(), direct.snapshots.size());
+  for (std::size_t i = 0; i < served.snapshots.size(); ++i) {
+    EXPECT_EQ(served.snapshots[i].evaluations,
+              direct.snapshots[i].evaluations);
+    EXPECT_EQ(served.snapshots[i].front, direct.snapshots[i].front);
+  }
+  // Wall-clock `seconds` fields are measurements of two separate
+  // executions and are NOT compared; the serde layer's bit-exactness for
+  // them is covered in test_serde.cpp.
+  EXPECT_EQ(served.provenance.problem, direct.provenance.problem);
+  EXPECT_EQ(served.provenance.algorithm_key,
+            direct.provenance.algorithm_key);
+  EXPECT_EQ(served.provenance.seed, direct.provenance.seed);
+  EXPECT_EQ(served.provenance.knobs, direct.provenance.knobs);
+  EXPECT_EQ(served.provenance.cache_key, direct.provenance.cache_key);
+  EXPECT_EQ(served.provenance.cancelled, direct.provenance.cancelled);
+  // cache_hit is intentionally NOT compared: it is transport provenance,
+  // not run content.
+}
+
+// --- the acceptance property ---------------------------------------------
+
+TEST(Serve, ReportsBitIdenticalToDirectExecutor) {
+  const std::vector<api::RunRequest> requests = {
+      zdt1_request("moela", 5), zdt1_request("nsga2", 5),
+      zdt1_request("moead", 7)};
+
+  api::Executor direct({.jobs = 2});
+  const std::vector<api::RunReport> direct_reports =
+      direct.run_all(requests);
+
+  ServeConfig config;
+  config.jobs = 2;
+  ServerFixture fixture(config);
+  const std::vector<api::RunReport> served_reports =
+      fixture.client.run(requests);
+
+  ASSERT_EQ(served_reports.size(), direct_reports.size());
+  for (std::size_t i = 0; i < served_reports.size(); ++i) {
+    expect_equal_modulo_cache(direct_reports[i], served_reports[i]);
+    EXPECT_FALSE(served_reports[i].provenance.cache_hit);
+  }
+  EXPECT_EQ(fixture.server->runs_handled(), requests.size());
+}
+
+TEST(Serve, DesignsSurviveTheWire) {
+  api::RunRequest request = zdt1_request("nsga2");
+  request.need_designs = true;
+  api::Executor direct({.jobs = 1});
+  const api::RunReport direct_report = direct.run_all({request}).front();
+
+  ServerFixture fixture;
+  const api::RunReport served = fixture.client.run({request}).front();
+  EXPECT_EQ(served.designs_as<std::vector<double>>(),
+            direct_report.designs_as<std::vector<double>>());
+}
+
+TEST(Serve, RepeatedRequestIsServedFromCache) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "moela-serve-cache";
+  std::filesystem::remove_all(dir);
+  ServeConfig config;
+  config.use_cache = true;
+  config.cache_dir = dir.string();
+  ServerFixture fixture(config);
+
+  const std::vector<api::RunRequest> requests = {zdt1_request("moela")};
+  const api::RunReport cold = fixture.client.run(requests).front();
+  EXPECT_FALSE(cold.provenance.cache_hit);
+  const api::RunReport warm = fixture.client.run(requests).front();
+  EXPECT_TRUE(warm.provenance.cache_hit);
+  expect_equal_modulo_cache(cold, warm);
+
+  // A second client shares the daemon's process-lifetime cache.
+  Client other;
+  other.connect("127.0.0.1", fixture.server->port());
+  const api::RunReport shared = other.run(requests).front();
+  EXPECT_TRUE(shared.provenance.cache_hit);
+  expect_equal_modulo_cache(cold, shared);
+}
+
+// --- auxiliary verbs ------------------------------------------------------
+
+TEST(Serve, PingAndListVerbs) {
+  ServerFixture fixture;
+  EXPECT_TRUE(fixture.client.ping());
+  EXPECT_EQ(fixture.client.list_problems(), api::problem_names());
+
+  const Json algorithms = fixture.client.list_algorithms();
+  const auto names = api::registry().names();
+  ASSERT_EQ(algorithms.as_array().size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const Json& entry = algorithms.as_array()[i];
+    EXPECT_EQ(entry.find("name")->as_string(), names[i]);
+    const auto declared = api::registry().knob_keys(names[i]);
+    ASSERT_EQ(entry.find("knobs")->as_array().size(), declared.size());
+  }
+}
+
+TEST(Serve, CacheStatsVerb) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "moela-serve-stats";
+  std::filesystem::remove_all(dir);
+  ServeConfig config;
+  config.use_cache = true;
+  config.cache_dir = dir.string();
+  ServerFixture fixture(config);
+
+  fixture.client.run({zdt1_request("moela")});
+  fixture.client.run({zdt1_request("moela")});
+
+  const Json response = fixture.client.cache_stats();
+  const Json* cache = response.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_TRUE(cache->find("enabled")->as_bool());
+  EXPECT_EQ(cache->find("stores")->as_u64(), 1u);
+  EXPECT_EQ(cache->find("memory_hits")->as_u64(), 1u);
+  EXPECT_EQ(response.find("runs_handled")->as_u64(), 2u);
+}
+
+// --- progress streaming ---------------------------------------------------
+
+TEST(Serve, StreamsProgressAndFinishedEvents) {
+  ServerFixture fixture;
+  const std::vector<api::RunRequest> requests = {zdt1_request("moela"),
+                                                 zdt1_request("nsga2")};
+  std::atomic<std::size_t> progress_events{0};
+  std::atomic<std::size_t> finished_events{0};
+  fixture.client.run(requests, /*stream_progress=*/true,
+                     [&](const Json& event) {
+                       const std::string kind =
+                           event.find("event")->as_string();
+                       if (kind == "finished") {
+                         ++finished_events;
+                         EXPECT_EQ(event.find("total")->as_u64(), 2u);
+                       } else if (kind == "progress") {
+                         ++progress_events;
+                       }
+                     });
+  EXPECT_EQ(finished_events.load(), requests.size());
+  // snapshot_interval 200 within 600 evals → at least one cadence event
+  // per run.
+  EXPECT_GT(progress_events.load(), 0u);
+}
+
+// --- error answers --------------------------------------------------------
+
+TEST(Serve, RejectsUnknownAlgorithmAndMalformedBatches) {
+  ServerFixture fixture;
+  api::RunRequest bad = zdt1_request("moela");
+  bad.algorithm = "no-such-algorithm";
+  EXPECT_THROW(fixture.client.run({bad}), RemoteError);
+  EXPECT_THROW(fixture.client.run({}), RemoteError);
+  // The connection survives an error answer.
+  EXPECT_TRUE(fixture.client.ping());
+  const api::RunReport ok = fixture.client.run({zdt1_request("moela")})
+                                .front();
+  EXPECT_EQ(ok.evaluations, 600u);
+}
+
+TEST(Serve, InflightBoundRejectsOversizedBatches) {
+  ServeConfig config;
+  config.max_inflight = 1;
+  ServerFixture fixture(config);
+  EXPECT_THROW(
+      fixture.client.run({zdt1_request("moela"), zdt1_request("nsga2")}),
+      RemoteError);
+  // A batch within the bound still runs.
+  EXPECT_EQ(fixture.client.run({zdt1_request("moela")}).size(), 1u);
+}
+
+// --- shutdown -------------------------------------------------------------
+
+TEST(Serve, ShutdownVerbDrainsTheServer) {
+  ServerFixture fixture;
+  fixture.client.run({zdt1_request("moela")});
+  fixture.client.shutdown_server();
+  // wait() must return: accept loop closed, connections nudged, batches
+  // done. (A hang here is the test failure, via the test timeout.)
+  fixture.server->wait();
+  EXPECT_TRUE(fixture.server->shutdown_requested());
+  EXPECT_EQ(fixture.server->runs_handled(), 1u);
+  // New connections are refused after the drain.
+  Client late;
+  EXPECT_THROW(late.connect("127.0.0.1", fixture.server->port()),
+               std::runtime_error);
+}
+
+TEST(Serve, ProgrammaticShutdownUnblocksIdleConnections) {
+  ServerFixture fixture;
+  EXPECT_TRUE(fixture.client.ping());  // connection is established and idle
+  fixture.server->request_shutdown();
+  fixture.server->wait();  // must not hang on the idle reader
+  EXPECT_THROW(fixture.client.run({zdt1_request("moela")}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace moela::serve

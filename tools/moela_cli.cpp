@@ -12,11 +12,19 @@
 // identical invocations near-free. Ctrl-C requests a graceful stop:
 // in-flight runs wind down at their next budget check and still report.
 //
+// With --connect host:port the same sweep flags submit to a remote
+// moela_serve daemon instead of running in-process: requests travel as
+// line-delimited JSON (api/serde.hpp), reports come back bit-identical to
+// a local run, and the daemon's process-lifetime cache answers repeats.
+//
 //   moela_cli --problem zdt1 --algorithm moela --evals 2000 --seed 1
 //   moela_cli --problem zdt1 --algo moela --algo nsga2 --replicates 3 \
 //             --jobs 4 --evals 2000
 //   moela_cli --problem noc --app BFS --app SRAD --objectives 5 \
 //             --algo moela --algo moos --seconds 5 --jobs 2
+//   moela_cli --connect localhost:7313 --problem zdt1 --algo moela \
+//             --replicates 3 --evals 2000
+//   moela_cli --connect :7313 --shutdown     # drain the daemon
 //   moela_cli --list
 //
 // stdout carries the final Pareto front(s) as CSV (one objective per
@@ -41,6 +49,10 @@
 #include "api/registry.hpp"
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
+#include "api/run_log.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 using namespace moela;
@@ -60,6 +72,9 @@ struct CliOptions {
   bool progress = false;   // in-run progress lines at the snapshot cadence
   std::string out_path;    // empty = stdout
   std::string trace_path;  // empty = no trace dump
+  std::string run_log_path;  // empty = $MOELA_RUN_LOG (via the Executor)
+  std::string connect;     // "host:port": submit to a moela_serve daemon
+  bool remote_shutdown = false;  // with --connect: drain the daemon
   bool list = false;
   bool help = false;
 };
@@ -100,6 +115,15 @@ void print_usage(std::FILE* to) {
                "  --cache-dir PATH   cache directory (default "
                "$MOELA_CACHE_DIR,\n"
                "                     else ~/.cache/moela)\n"
+               "  --run-log PATH     append one JSONL record per completed "
+               "run\n"
+               "                     (default $MOELA_RUN_LOG)\n"
+               "  --connect H:P      submit to a moela_serve daemon instead "
+               "of running\n"
+               "                     in-process (cache/jobs are then "
+               "server-side)\n"
+               "  --shutdown         with --connect: ask the daemon to "
+               "drain and exit\n"
                "  --progress         stream in-run progress at the snapshot "
                "cadence\n"
                "  --out PATH         write the front CSV(s) to PATH instead "
@@ -231,6 +255,14 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (arg == "--cache-dir") {
       if ((v = need_value(i, "--cache-dir")) == nullptr) return std::nullopt;
       cli.cache_dir = v;
+    } else if (arg == "--run-log") {
+      if ((v = need_value(i, "--run-log")) == nullptr) return std::nullopt;
+      cli.run_log_path = v;
+    } else if (arg == "--connect") {
+      if ((v = need_value(i, "--connect")) == nullptr) return std::nullopt;
+      cli.connect = v;
+    } else if (arg == "--shutdown") {
+      cli.remote_shutdown = true;
     } else if (arg == "--out") {
       if ((v = need_value(i, "--out")) == nullptr) return std::nullopt;
       cli.out_path = v;
@@ -280,6 +312,20 @@ void write_front_csv(std::ostream& out,
   }
 }
 
+void print_algorithm(const std::string& name,
+                     const std::vector<std::string>& knobs) {
+  std::printf("  %s\n", name.c_str());
+  if (knobs.empty()) {
+    std::printf("      knobs: (none declared — accepts any)\n");
+    return;
+  }
+  std::printf("      knobs:");
+  for (const auto& knob : knobs) std::printf(" %s", knob.c_str());
+  std::printf("\n");
+}
+
+/// --list: problem keys and algorithm keys with the knob keys each
+/// algorithm's adapter declared at registration.
 int list_registry() {
   std::printf("problems:\n");
   for (const auto& name : api::problem_names()) {
@@ -287,8 +333,27 @@ int list_registry() {
   }
   std::printf("algorithms:\n");
   for (const auto& name : api::registry().names()) {
-    std::printf("  %s (knobs: %zu declared)\n", name.c_str(),
-                api::registry().knob_keys(name).size());
+    print_algorithm(name, api::registry().knob_keys(name));
+  }
+  return 0;
+}
+
+/// --list --connect: the DAEMON's registry (which may have plugins this
+/// binary lacks), via the list_problems / list_algorithms verbs.
+int list_remote(serve::Client& client) {
+  std::printf("problems:\n");
+  for (const auto& name : client.list_problems()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("algorithms:\n");
+  const util::Json algorithms = client.list_algorithms();
+  for (const auto& entry : algorithms.as_array()) {
+    std::vector<std::string> knobs;
+    if (const util::Json* k = entry.find("knobs")) {
+      for (const auto& knob : k->as_array()) knobs.push_back(knob.as_string());
+    }
+    const util::Json* name = entry.find("name");
+    print_algorithm(name != nullptr ? name->as_string() : "?", knobs);
   }
   return 0;
 }
@@ -341,6 +406,185 @@ void handle_sigint(int) {
   std::signal(SIGINT, SIG_DFL);
 }
 
+/// Batch summary + front CSV(s) + optional trace CSV — shared by the
+/// in-process and --connect paths (the reports are bit-identical either
+/// way, so the output code cannot tell them apart). Returns the process
+/// exit code.
+int write_outputs(const CliOptions& cli,
+                  const std::vector<api::RunRequest>& requests,
+                  const std::vector<api::RunReport>& reports,
+                  double wall_seconds) {
+  std::size_t cache_hits = 0, cancelled = 0;
+  for (const auto& report : reports) {
+    cache_hits += report.provenance.cache_hit ? 1 : 0;
+    cancelled += report.provenance.cancelled ? 1 : 0;
+  }
+  const std::string cancelled_note =
+      cancelled > 0 ? ", " + std::to_string(cancelled) + " cancelled" : "";
+  std::fprintf(stderr,
+               "moela_cli: batch done in %.2f s (%zu run(s), %zu cache "
+               "hit(s)%s)\n",
+               wall_seconds, reports.size(), cache_hits,
+               cancelled_note.c_str());
+
+  std::ofstream out_file;
+  if (!cli.out_path.empty()) {
+    out_file.open(cli.out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
+                   cli.out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = cli.out_path.empty() ? std::cout : out_file;
+  out.precision(12);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports.size() > 1) {
+      out << (i == 0 ? "" : "\n") << "# run " << (i + 1) << "/"
+          << reports.size() << " " << requests[i].label << "\n";
+    }
+    write_provenance(out, reports[i]);
+    write_front_csv(out, reports[i].final_front);
+  }
+  if (!cli.out_path.empty()) {
+    std::fprintf(stderr, "moela_cli: front CSV written to %s\n",
+                 cli.out_path.c_str());
+  }
+
+  if (!cli.trace_path.empty()) {
+    std::ofstream trace(cli.trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
+                   cli.trace_path.c_str());
+      return 1;
+    }
+    trace.precision(12);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (reports.size() > 1) {
+        trace << (i == 0 ? "" : "\n") << "# run " << (i + 1) << "/"
+              << reports.size() << " " << requests[i].label << "\n";
+      }
+      write_provenance(trace, reports[i]);
+      trace << "evaluations,seconds,front_size\n";
+      for (const auto& s : reports[i].snapshots) {
+        trace << s.evaluations << "," << s.seconds << "," << s.front.size()
+              << "\n";
+      }
+    }
+    std::fprintf(stderr, "moela_cli: trace CSV written to %s\n",
+                 cli.trace_path.c_str());
+  }
+  return cancelled > 0 ? 130 : 0;
+}
+
+/// The --connect path: same flags, same outputs, but the batch executes in
+/// a moela_serve daemon (whose process-lifetime cache answers repeats) and
+/// the reports travel back as line-delimited JSON.
+int run_remote(const CliOptions& cli) {
+  std::string host;
+  int port = 0;
+  if (!serve::parse_host_port(cli.connect, host, port)) {
+    std::fprintf(stderr, "moela_cli: bad --connect '%s' (want host:port)\n",
+                 cli.connect.c_str());
+    return 2;
+  }
+  try {
+    serve::Client client;
+    client.connect(host, port);
+    if (cli.list) return list_remote(client);
+    if (cli.problem.empty() || cli.algorithms.empty()) {
+      if (cli.remote_shutdown) {
+        client.shutdown_server();
+        std::fprintf(stderr, "moela_cli: daemon at %s:%d is draining\n",
+                     host.c_str(), port);
+        return 0;
+      }
+      std::fprintf(stderr, "moela_cli: --problem and --algorithm are "
+                           "required (or --shutdown / --list)\n");
+      return 2;
+    }
+    if (!cli.use_cache || !cli.cache_dir.empty() || cli.jobs != 1 ||
+        !cli.run_log_path.empty()) {
+      std::fprintf(stderr,
+                   "moela_cli: note: --jobs/--no-cache/--cache-dir/"
+                   "--run-log are daemon-side settings; ignored with "
+                   "--connect\n");
+    }
+    warn_unknown_knobs(cli);
+
+    const std::vector<api::RunRequest> requests = build_requests(cli);
+    std::fprintf(stderr,
+                 "moela_cli: submitting %zu run(s) to %s:%d (evals<=%zu, "
+                 "seconds<=%.1f)\n",
+                 requests.size(), host.c_str(), port,
+                 cli.run_options.max_evaluations,
+                 cli.run_options.max_seconds);
+
+    // Missing/mistyped fields from a version-skewed daemon must degrade
+    // the display, never crash the batch — hence the defaulted readers.
+    auto u64_or = [](const util::Json& event, const char* key,
+                     unsigned long long fallback) -> unsigned long long {
+      const util::Json* v = event.find(key);
+      try {
+        return v != nullptr ? v->as_u64() : fallback;
+      } catch (const std::exception&) {
+        return fallback;
+      }
+    };
+    auto double_or = [](const util::Json& event, const char* key,
+                        double fallback) {
+      const util::Json* v = event.find(key);
+      return v != nullptr && v->is_number() ? v->as_double() : fallback;
+    };
+    auto string_or = [](const util::Json& event, const char* key,
+                        const char* fallback) {
+      const util::Json* v = event.find(key);
+      return v != nullptr && v->is_string() ? v->as_string()
+                                            : std::string(fallback);
+    };
+
+    const bool stream_progress = cli.progress;
+    util::Timer wall;
+    const std::vector<api::RunReport> reports = client.run(
+        requests, stream_progress, [&](const util::Json& event) {
+          const util::Json* hit = event.find("cache_hit");
+          const std::string kind = string_or(event, "event", "");
+          if (kind == "finished") {
+            std::fprintf(
+                stderr,
+                "moela_cli: [%llu/%llu] %s done (%llu evals, %.2f s%s)\n",
+                u64_or(event, "completed", 0), u64_or(event, "total", 0),
+                string_or(event, "label", "?").c_str(),
+                u64_or(event, "evaluations", 0),
+                double_or(event, "seconds", 0.0),
+                hit != nullptr && hit->is_bool() && hit->as_bool()
+                    ? ", cached"
+                    : "");
+          } else if (kind == "progress" && stream_progress) {
+            std::fprintf(
+                stderr,
+                "moela_cli: [run %llu] %s at %llu/%llu evals (%.2f s)\n",
+                u64_or(event, "index", 0) + 1,
+                string_or(event, "algorithm", "?").c_str(),
+                u64_or(event, "evaluations", 0),
+                u64_or(event, "max_evaluations", 0),
+                double_or(event, "seconds", 0.0));
+          }
+        });
+    const double wall_seconds = wall.elapsed_seconds();
+    const int exit_code = write_outputs(cli, requests, reports, wall_seconds);
+    if (cli.remote_shutdown) {
+      client.shutdown_server();
+      std::fprintf(stderr, "moela_cli: daemon at %s:%d is draining\n",
+                   host.c_str(), port);
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "moela_cli: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -354,6 +598,11 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
+  if (cli.remote_shutdown && cli.connect.empty()) {
+    std::fprintf(stderr, "moela_cli: --shutdown needs --connect\n");
+    return 2;
+  }
+  if (!cli.connect.empty()) return run_remote(cli);
   if (cli.list) return list_registry();
   if (cli.problem.empty() || cli.algorithms.empty()) {
     std::fprintf(stderr, "moela_cli: --problem and --algorithm are "
@@ -385,9 +634,18 @@ int main(int argc, char** argv) {
             ? (cli.cache_dir.empty() ? api::ResultCache::default_disk_dir()
                                      : cli.cache_dir)
             : std::string());
+    std::optional<api::RunLogger> run_log;
+    if (!cli.run_log_path.empty()) {
+      run_log.emplace(cli.run_log_path);
+      // Fail fast: an explicitly requested log that cannot be written must
+      // not silently degrade (or fall back to $MOELA_RUN_LOG).
+      if (!run_log->ok()) return 2;
+    }
+
     api::ExecutorConfig executor_config;
     executor_config.jobs = cli.jobs;
     executor_config.cache = cli.use_cache ? &cache : nullptr;
+    if (run_log.has_value()) executor_config.run_log = &*run_log;
     api::Executor executor(executor_config);
 
     std::fprintf(stderr,
@@ -423,67 +681,7 @@ int main(int argc, char** argv) {
     const double wall_seconds = wall.elapsed_seconds();
     g_control = nullptr;
 
-    std::size_t cache_hits = 0, cancelled = 0;
-    for (const auto& report : reports) {
-      cache_hits += report.provenance.cache_hit ? 1 : 0;
-      cancelled += report.provenance.cancelled ? 1 : 0;
-    }
-    const std::string cancelled_note =
-        cancelled > 0 ? ", " + std::to_string(cancelled) + " cancelled" : "";
-    std::fprintf(stderr,
-                 "moela_cli: batch done in %.2f s (%zu run(s), %zu cache "
-                 "hit(s)%s)\n",
-                 wall_seconds, reports.size(), cache_hits,
-                 cancelled_note.c_str());
-
-    std::ofstream out_file;
-    if (!cli.out_path.empty()) {
-      out_file.open(cli.out_path);
-      if (!out_file) {
-        std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
-                     cli.out_path.c_str());
-        return 1;
-      }
-    }
-    std::ostream& out = cli.out_path.empty() ? std::cout : out_file;
-    out.precision(12);
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-      if (reports.size() > 1) {
-        out << (i == 0 ? "" : "\n") << "# run " << (i + 1) << "/"
-            << reports.size() << " " << requests[i].label << "\n";
-      }
-      write_provenance(out, reports[i]);
-      write_front_csv(out, reports[i].final_front);
-    }
-    if (!cli.out_path.empty()) {
-      std::fprintf(stderr, "moela_cli: front CSV written to %s\n",
-                   cli.out_path.c_str());
-    }
-
-    if (!cli.trace_path.empty()) {
-      std::ofstream trace(cli.trace_path);
-      if (!trace) {
-        std::fprintf(stderr, "moela_cli: cannot open '%s'\n",
-                     cli.trace_path.c_str());
-        return 1;
-      }
-      trace.precision(12);
-      for (std::size_t i = 0; i < reports.size(); ++i) {
-        if (reports.size() > 1) {
-          trace << (i == 0 ? "" : "\n") << "# run " << (i + 1) << "/"
-                << reports.size() << " " << requests[i].label << "\n";
-        }
-        write_provenance(trace, reports[i]);
-        trace << "evaluations,seconds,front_size\n";
-        for (const auto& s : reports[i].snapshots) {
-          trace << s.evaluations << "," << s.seconds << "," << s.front.size()
-                << "\n";
-        }
-      }
-      std::fprintf(stderr, "moela_cli: trace CSV written to %s\n",
-                   cli.trace_path.c_str());
-    }
-    return cancelled > 0 ? 130 : 0;
+    return write_outputs(cli, requests, reports, wall_seconds);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "moela_cli: %s\n", e.what());
     return 1;
