@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md, ROADMAP.md, CHANGES.md, and docs/*.md for markdown links
+and inline `path` references of the form [text](target). External targets
+(http/https/mailto) and pure in-page anchors (#...) are skipped; everything
+else must resolve to an existing file or directory relative to the linking
+file. CI runs this so README/docs/ cross-references cannot rot silently.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def files_to_check():
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        path = ROOT / name
+        if path.exists():
+            yield path
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def main() -> int:
+    dead = []
+    for md in files_to_check():
+        for match in LINK.finditer(md.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                dead.append(f"{md.relative_to(ROOT)}: dead link '{target}'")
+    for entry in dead:
+        print(entry)
+    if not dead:
+        print(f"checked {sum(1 for _ in files_to_check())} file(s): "
+              "all relative links resolve")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

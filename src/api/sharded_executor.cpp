@@ -1,0 +1,447 @@
+#include "api/sharded_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "api/executor.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+
+namespace moela::api {
+namespace {
+
+using util::Json;
+
+/// The work pool shared by the shard threads. `owned[s]` holds shard s's
+/// static round-robin slice; `pending` holds the work-stealing pool and
+/// every requeued index. An index is always in exactly one place: some
+/// owned queue, pending, in flight at a shard, or retired (done/failed).
+struct SharedState {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<std::size_t> pending;
+  std::vector<std::deque<std::size_t>> owned;
+  std::size_t owned_total = 0;
+  std::size_t inflight = 0;
+  std::vector<std::size_t> attempts;
+  std::vector<std::string> request_error;
+  std::vector<char> done;
+  std::vector<char> failed;  // attempts exhausted; never requeued again
+  /// Member of a failed multi-request chunk: must be retried ALONE so the
+  /// failure is attributable to it (and charged to it) rather than to
+  /// whatever shared its wire batch.
+  std::vector<char> solo;
+  /// Requests that have fired a `finished` progress event, so retried
+  /// chunks (which re-fire events for re-executed members) cannot inflate
+  /// the forwarded `completed` count.
+  std::vector<char> finish_reported;
+  std::size_t finish_count = 0;
+  std::atomic<bool> stopped{false};
+};
+
+/// One shard thread: owns one connection, pulls chunks (its static slice
+/// first, then the shared pool), submits them, and merges replies into
+/// `reports` by original index. On a transport failure the shard requeues
+/// its chunk and retires; on a server error answer it requeues and keeps
+/// serving (the connection survived).
+void run_shard(const ShardedExecutorConfig& config,
+               const ShardEndpoint& endpoint, ShardStats& stats,
+               std::size_t shard, std::size_t chunk_size,
+               std::size_t batch_size,
+               const std::vector<RunRequest>& requests,
+               std::vector<RunReport>& reports, SharedState& shared,
+               RunControl* control) {
+  serve::Client client;
+  try {
+    client.connect(endpoint.host, endpoint.port);
+  } catch (const std::exception& e) {
+    // Never reached a daemon, so this is not an attempt on any request:
+    // hand the static slice to the surviving shards and retire.
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    stats.healthy = false;
+    stats.failures += 1;
+    stats.error = e.what();
+    shared.owned_total -= shared.owned[shard].size();
+    for (const std::size_t i : shared.owned[shard]) {
+      shared.pending.push_back(i);
+    }
+    shared.owned[shard].clear();
+    shared.work_cv.notify_all();
+    return;
+  }
+
+  for (;;) {
+    std::vector<std::size_t> chunk;
+    {
+      std::unique_lock<std::mutex> lock(shared.mutex);
+      for (;;) {
+        if (control != nullptr && control->stop_requested()) {
+          shared.stopped.store(true, std::memory_order_relaxed);
+        }
+        if (shared.stopped.load(std::memory_order_relaxed)) {
+          shared.work_cv.notify_all();
+          return;
+        }
+        // Fill the chunk, except that a `solo` request always rides alone
+        // (see SharedState::solo).
+        auto pull_from = [&](std::deque<std::size_t>& queue, bool owned) {
+          while (!queue.empty() && chunk.size() < chunk_size) {
+            const std::size_t next = queue.front();
+            if (shared.solo[next] && !chunk.empty()) break;
+            queue.pop_front();
+            if (owned) --shared.owned_total;
+            chunk.push_back(next);
+            if (shared.solo[next]) break;
+          }
+        };
+        pull_from(shared.owned[shard], /*owned=*/true);
+        if (chunk.empty() || (chunk.size() < chunk_size &&
+                              !shared.solo[chunk.front()])) {
+          pull_from(shared.pending, /*owned=*/false);
+        }
+        if (!chunk.empty()) {
+          shared.inflight += chunk.size();
+          break;
+        }
+        if (shared.owned_total == 0 && shared.pending.empty() &&
+            shared.inflight == 0) {
+          return;  // batch drained (or every leftover exhausted its cap)
+        }
+        // Idle but the batch is not drained: a peer may still fail and
+        // requeue its work here.
+        shared.work_cv.wait(lock);
+      }
+    }
+
+    std::vector<RunRequest> batch;
+    batch.reserve(chunk.size());
+    for (const std::size_t i : chunk) batch.push_back(requests[i]);
+
+    serve::Client::EventHandler handler;
+    if (control != nullptr) {
+      handler = [&shared, &chunk, batch_size, control](const Json& event) {
+        // A version-skewed daemon with a missing/garbled index: drop the
+        // event rather than misattribute it to another request (the
+        // fallback is deliberately out of range).
+        const std::size_t local =
+            util::u64_field_or(event, "index", chunk.size());
+        if (local >= chunk.size()) return;
+        RunProgress progress;
+        progress.batch_size = batch_size;
+        progress.batch_index = chunk[local];
+        progress.algorithm = util::string_field_or(event, "algorithm");
+        progress.evaluations = util::u64_field_or(event, "evaluations", 0);
+        progress.max_evaluations =
+            util::u64_field_or(event, "max_evaluations", 0);
+        progress.seconds = util::double_field_or(event, "seconds", 0.0);
+        if (util::string_field_or(event, "event") == "finished") {
+          progress.finished = true;
+          {
+            // First completion per request only: a retried chunk re-fires
+            // events for re-executed members, which must not advance (or
+            // overrun) the forwarded count.
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            if (!shared.finish_reported[progress.batch_index]) {
+              shared.finish_reported[progress.batch_index] = 1;
+              ++shared.finish_count;
+            }
+            progress.completed = shared.finish_count;
+          }
+          if (const Json* hit = event.find("cache_hit");
+              hit != nullptr && hit->is_bool()) {
+            progress.cache_hit = hit->as_bool();
+          }
+        }
+        control->notify(progress);
+      };
+    }
+
+    std::string error;
+    bool transport = false;
+    try {
+      std::vector<RunReport> served =
+          client.run(batch, config.stream_progress, handler);
+      if (served.size() != chunk.size()) {
+        throw std::runtime_error(client.endpoint() +
+                                 ": response size mismatch");
+      }
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      for (std::size_t k = 0; k < chunk.size(); ++k) {
+        reports[chunk[k]] = std::move(served[k]);
+        shared.done[chunk[k]] = 1;
+      }
+      shared.inflight -= chunk.size();
+      stats.completed += chunk.size();
+      shared.work_cv.notify_all();
+      continue;
+    } catch (const serve::RemoteError& e) {
+      error = e.what();  // server answered: the connection is still usable
+    } catch (const std::exception& e) {
+      error = e.what();
+      transport = true;  // connection-level failure: retire this shard
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      stats.failures += 1;
+      stats.error = error;
+      for (const std::size_t i : chunk) {
+        shared.request_error[i] = error;
+        if (chunk.size() > 1) {
+          // A multi-request failure is not attributed to a single member
+          // here (the client surfaces only the first per-entry error, and
+          // a transport drop names none): retry each alone, attempt
+          // uncharged — a chunk-mate that never executed must not burn
+          // its cap for a neighbor's poison. Completed chunk-mates do get
+          // re-executed (or served from the daemon's cache); the cost is
+          // bounded by one solo round.
+          shared.solo[i] = 1;
+          shared.pending.push_back(i);
+        } else if (++shared.attempts[i] >= config.max_attempts) {
+          shared.failed[i] = 1;
+        } else {
+          shared.pending.push_back(i);
+        }
+      }
+      if (transport) {
+        // Retiring mid-run: the rest of this shard's static slice must go
+        // to the survivors too, or they would wait on it forever. Never
+        // attempted, so those requests' attempt counts do not advance.
+        std::deque<std::size_t>& own = shared.owned[shard];
+        shared.owned_total -= own.size();
+        for (const std::size_t i : own) shared.pending.push_back(i);
+        own.clear();
+      }
+      shared.inflight -= chunk.size();
+      shared.work_cv.notify_all();
+    }
+    if (transport) return;
+  }
+}
+
+/// Mirrors the Executor's never-started cancelled report so a sharded stop
+/// and an inline stop produce the same report shape.
+RunReport cancelled_report(const RunRequest& request) {
+  RunReport report;
+  report.algorithm = request.algorithm;
+  report.provenance.problem = request.problem;
+  report.provenance.algorithm_key = request.algorithm;
+  report.provenance.seed = request.options.seed;
+  report.provenance.knobs = request.options.knobs.values();
+  report.provenance.cache_key = request.cache_key();
+  report.provenance.cancelled = true;
+  return report;
+}
+
+}  // namespace
+
+bool parse_shard_policy(const std::string& text, ShardPolicy& out) {
+  if (text == "round-robin") {
+    out = ShardPolicy::kRoundRobin;
+    return true;
+  }
+  if (text == "work-steal" || text == "work-stealing") {
+    out = ShardPolicy::kWorkStealing;
+    return true;
+  }
+  return false;
+}
+
+std::string shard_policy_name(ShardPolicy policy) {
+  return policy == ShardPolicy::kRoundRobin ? "round-robin" : "work-steal";
+}
+
+std::string ShardEndpoint::to_string() const {
+  return host + ":" +
+         std::to_string(port == 0 ? serve::kDefaultPort : port);
+}
+
+bool parse_shard_endpoint(const std::string& spec, ShardEndpoint& out) {
+  return serve::parse_host_port(spec, out.host, out.port);
+}
+
+ShardedExecutor::ShardedExecutor(ShardedExecutorConfig config)
+    : config_(std::move(config)) {
+  if (config_.endpoints.empty()) {
+    throw std::invalid_argument("ShardedExecutor: no endpoints");
+  }
+  if (config_.max_attempts == 0) {
+    throw std::invalid_argument("ShardedExecutor: max_attempts must be >= 1");
+  }
+  for (auto& endpoint : config_.endpoints) {
+    if (endpoint.port == 0) endpoint.port = serve::kDefaultPort;
+  }
+}
+
+std::vector<RunReport> ShardedExecutor::run_all(
+    const std::vector<RunRequest>& requests, RunControl* control) {
+  const std::size_t n = requests.size();
+  std::vector<RunReport> reports(n);
+  stats_.assign(config_.endpoints.size(), ShardStats{});
+  for (std::size_t s = 0; s < config_.endpoints.size(); ++s) {
+    stats_[s].endpoint = config_.endpoints[s].to_string();
+  }
+  if (n == 0) return reports;
+
+  // Placement gate: probe each endpoint's `health` verb and leave dead or
+  // draining daemons out of the initial partition. (A daemon predating the
+  // verb still places if it answers a ping.) Probes run concurrently so
+  // one blackholed endpoint cannot serialize the whole fleet's startup
+  // behind its TCP connect timeout.
+  std::vector<std::size_t> healthy;
+  std::vector<std::size_t> probed_jobs(config_.endpoints.size(), 0);
+  if (config_.probe_health) {
+    std::vector<std::thread> probes;
+    probes.reserve(config_.endpoints.size());
+    for (std::size_t s = 0; s < config_.endpoints.size(); ++s) {
+      probes.emplace_back([this, s, &probed_jobs] {
+        const ShardEndpoint& endpoint = config_.endpoints[s];
+        try {
+          serve::Client probe;
+          probe.connect(endpoint.host, endpoint.port);
+          bool accepting = true;
+          try {
+            const Json health = probe.health();
+            if (const Json* a = health.find("accepting");
+                a != nullptr && a->is_bool()) {
+              accepting = a->as_bool();
+            }
+            probed_jobs[s] = util::u64_field_or(health, "jobs", 0);
+          } catch (const serve::RemoteError&) {
+            accepting = probe.ping();  // daemon predates the health verb
+          }
+          if (accepting) {
+            stats_[s].healthy = true;
+          } else {
+            stats_[s].error =
+                endpoint.to_string() + ": draining, not accepting runs";
+          }
+        } catch (const std::exception& e) {
+          stats_[s].failures += 1;
+          stats_[s].error = e.what();
+        }
+      });
+    }
+    for (auto& probe : probes) probe.join();
+  }
+  for (std::size_t s = 0; s < config_.endpoints.size(); ++s) {
+    if (!config_.probe_health) stats_[s].healthy = true;
+    if (stats_[s].healthy) healthy.push_back(s);
+  }
+
+  SharedState shared;
+  shared.owned.resize(config_.endpoints.size());
+  shared.attempts.assign(n, 0);
+  shared.request_error.assign(n, std::string());
+  shared.done.assign(n, 0);
+  shared.failed.assign(n, 0);
+  shared.solo.assign(n, 0);
+  shared.finish_reported.assign(n, 0);
+
+  if (!healthy.empty()) {
+    if (config_.policy == ShardPolicy::kRoundRobin) {
+      for (std::size_t i = 0; i < n; ++i) {
+        shared.owned[healthy[i % healthy.size()]].push_back(i);
+      }
+      shared.owned_total = n;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) shared.pending.push_back(i);
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(healthy.size());
+    for (const std::size_t s : healthy) {
+      // Wire-batch size: an explicit steal_chunk wins; otherwise size each
+      // shard's chunk to the daemon's probed worker count, so a chunk
+      // saturates the daemon's Executor pool instead of serializing it
+      // one run at a time.
+      const std::size_t chunk_size =
+          config_.steal_chunk > 0
+              ? config_.steal_chunk
+              : std::max<std::size_t>(std::size_t{1}, probed_jobs[s]);
+      workers.emplace_back([this, s, chunk_size, n, &requests, &reports,
+                            &shared, control] {
+        run_shard(config_, config_.endpoints[s], stats_[s], s, chunk_size,
+                  n, requests, reports, shared, control);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  std::vector<std::size_t> undone;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!shared.done[i]) undone.push_back(i);
+  }
+  if (undone.empty()) return reports;
+
+  if (config_.local_fallback) {
+    // Note: the fallback Executor tags its progress events with indices
+    // into the fallback sub-batch, not the merged batch.
+    std::vector<RunRequest> rest;
+    rest.reserve(undone.size());
+    for (const std::size_t i : undone) rest.push_back(requests[i]);
+    std::vector<std::future<RunReport>> futures;
+    {
+      Executor local({.jobs = config_.local_jobs, .cache = config_.cache});
+      futures = local.submit(std::move(rest), control);
+      // Wait (without consuming) and join the pool before get(): a
+      // rethrown exception shares state with the worker's task copy, and
+      // consuming it while the worker tears down its copy is a race.
+      for (auto& future : futures) future.wait();
+    }
+    // Collect per-future so one throwing fallback run (a request invalid
+    // locally too) cannot abandon the sibling fallback runs mid-drain;
+    // the aggregate throw below still names each failure.
+    std::vector<std::size_t> fallback_failed;
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      try {
+        reports[undone[k]] = futures[k].get();
+        shared.done[undone[k]] = 1;
+      } catch (const std::exception& e) {
+        shared.request_error[undone[k]] =
+            std::string("local fallback: ") + e.what();
+        fallback_failed.push_back(undone[k]);
+      }
+    }
+    if (fallback_failed.empty()) return reports;
+    undone = std::move(fallback_failed);
+  } else if (control != nullptr && control->stop_requested()) {
+    for (const std::size_t i : undone) {
+      reports[i] = cancelled_report(requests[i]);
+    }
+    return reports;
+  }
+
+  // Not stopped, and any fallback has had its chance: the batch genuinely
+  // failed. Name the
+  // endpoints and the first few per-request errors so a fleet operator can
+  // tell which daemon to look at.
+  std::string what = "sharded run: " + std::to_string(undone.size()) + " of " +
+                     std::to_string(n) + " request(s) unserved";
+  for (const ShardStats& shard : stats_) {
+    if (!shard.error.empty()) what += "; " + shard.error;
+  }
+  std::size_t listed = 0;
+  for (const std::size_t i : undone) {
+    if (shared.request_error[i].empty()) continue;
+    if (listed == 3) {
+      what += "; ...";
+      break;
+    }
+    what += "; '" + requests[i].label_or_default() + "' after " +
+            std::to_string(shared.attempts[i]) +
+            " attempt(s): " + shared.request_error[i];
+    ++listed;
+  }
+  throw std::runtime_error(what);
+}
+
+}  // namespace moela::api

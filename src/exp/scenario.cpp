@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "api/executor.hpp"
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
+#include "api/sharded_executor.hpp"
 #include "moo/metrics.hpp"
 #include "util/log.hpp"
 
@@ -44,6 +46,29 @@ PaperBenchConfig paper_bench_config_from_env() {
     config.cache_dir = std::string(cache) == "1"
                            ? api::ResultCache::default_disk_dir()
                            : cache;
+  }
+  if (const char* shards = std::getenv("MOELA_BENCH_SHARDS");
+      shards != nullptr && *shards != '\0') {
+    std::string spec(shards);
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+      const std::size_t comma = spec.find(',', begin);
+      std::string endpoint = spec.substr(
+          begin, comma == std::string::npos ? std::string::npos
+                                            : comma - begin);
+      // Trim whitespace: "host1:7313, host2:7313" must not turn the
+      // second entry into an unresolvable " host2".
+      const std::size_t first = endpoint.find_first_not_of(" \t");
+      const std::size_t last = endpoint.find_last_not_of(" \t");
+      endpoint = first == std::string::npos
+                     ? std::string()
+                     : endpoint.substr(first, last - first + 1);
+      if (!endpoint.empty()) {
+        config.shard_endpoints.push_back(std::move(endpoint));
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
   }
   return config;
 }
@@ -123,17 +148,6 @@ std::vector<AppScenarioResult> run_app_scenarios(
     }
   }
 
-  api::ResultCache cache(config.cache_dir);
-  api::ExecutorConfig executor_config;
-  executor_config.jobs = config.jobs;
-  executor_config.cache = config.cache_dir.empty() ? nullptr : &cache;
-  api::Executor executor(executor_config);
-
-  util::log_info() << "scheduling " << requests.size() << " runs ("
-                   << cells.size() << " cells x " << per_cell
-                   << " algorithms) on " << executor.jobs()
-                   << " worker(s), evals<=" << options.max_evaluations;
-
   api::RunControl control;
   control.on_progress([&requests](const api::RunProgress& progress) {
     if (!progress.finished) return;  // in-run cadence events stay quiet
@@ -145,7 +159,50 @@ std::vector<AppScenarioResult> run_app_scenarios(
                      << "]";
   });
 
-  std::vector<api::RunReport> reports = executor.run_all(requests, &control);
+  std::vector<api::RunReport> reports;
+  if (!config.shard_endpoints.empty()) {
+    // $MOELA_BENCH_SHARDS: fan the grid across a moela_serve fleet.
+    // JOBS/CACHE are daemon-side settings over there; reports come back
+    // bit-identical to the in-process path for fixed seeds.
+    api::ShardedExecutorConfig sharded_config;
+    for (const std::string& spec : config.shard_endpoints) {
+      api::ShardEndpoint endpoint;
+      if (!api::parse_shard_endpoint(spec, endpoint)) {
+        throw std::runtime_error("MOELA_BENCH_SHARDS: bad endpoint '" +
+                                 spec + "'");
+      }
+      sharded_config.endpoints.push_back(std::move(endpoint));
+    }
+    util::log_info() << "sharding " << requests.size() << " runs ("
+                     << cells.size() << " cells x " << per_cell
+                     << " algorithms) across "
+                     << sharded_config.endpoints.size()
+                     << " daemon(s), evals<=" << options.max_evaluations;
+    api::ShardedExecutor sharded(std::move(sharded_config));
+    reports = sharded.run_all(requests, &control);
+    for (const api::ShardStats& shard : sharded.shard_stats()) {
+      if (!shard.healthy || shard.failures > 0) {
+        util::log_warn() << "shard " << shard.endpoint << ": "
+                         << shard.completed << " run(s), "
+                         << shard.failures << " failure(s)"
+                         << (shard.error.empty() ? "" : " — ")
+                         << shard.error;
+      }
+    }
+  } else {
+    api::ResultCache cache(config.cache_dir);
+    api::ExecutorConfig executor_config;
+    executor_config.jobs = config.jobs;
+    executor_config.cache = config.cache_dir.empty() ? nullptr : &cache;
+    api::Executor executor(executor_config);
+
+    util::log_info() << "scheduling " << requests.size() << " runs ("
+                     << cells.size() << " cells x " << per_cell
+                     << " algorithms) on " << executor.jobs()
+                     << " worker(s), evals<=" << options.max_evaluations;
+
+    reports = executor.run_all(requests, &control);
+  }
 
   std::vector<AppScenarioResult> results;
   results.reserve(cells.size());

@@ -17,6 +17,13 @@
 //                         budget is the contract)
 //   MOELA_BENCH_CACHE   — result-cache directory; "1" = the default dir
 //                         (api::ResultCache::default_disk_dir), unset = off
+//   MOELA_BENCH_SHARDS  — comma-separated moela_serve endpoints
+//                         ("host:port,host:port"); when set, the whole grid
+//                         is fanned across the daemon fleet through
+//                         api::ShardedExecutor instead of running
+//                         in-process (JOBS/CACHE are then daemon-side
+//                         settings). Reports stay bit-identical for fixed
+//                         seeds with MOELA_BENCH_SECONDS=0.
 #pragma once
 
 #include <cstddef>
@@ -47,6 +54,9 @@ struct PaperBenchConfig {
   std::size_t jobs = 1;
   /// Result-cache directory; empty = no cache.
   std::string cache_dir;
+  /// moela_serve endpoints ("host:port"); non-empty fans the grid across
+  /// the fleet via api::ShardedExecutor ($MOELA_BENCH_SHARDS).
+  std::vector<std::string> shard_endpoints;
 };
 
 /// Reads the MOELA_BENCH_* environment overrides.

@@ -19,8 +19,16 @@ using util::Json;
 
 Client::~Client() { disconnect(); }
 
+std::string Client::where() const {
+  // Every thrown message carries the endpoint so a failure inside a
+  // multi-shard batch is attributable to the daemon that caused it.
+  return endpoint_.empty() ? std::string("moela_serve client")
+                           : "moela_serve client[" + endpoint_ + "]";
+}
+
 void Client::connect(const std::string& host, int port) {
   disconnect();
+  endpoint_ = host + ":" + std::to_string(port);
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -29,8 +37,7 @@ void Client::connect(const std::string& host, int port) {
   if (::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &resolved) !=
           0 ||
       resolved == nullptr) {
-    throw std::runtime_error("moela_serve client: cannot resolve '" + host +
-                             "'");
+    throw std::runtime_error(where() + ": cannot resolve '" + host + "'");
   }
   int fd = -1;
   std::string error = "no addresses";
@@ -47,8 +54,7 @@ void Client::connect(const std::string& host, int port) {
   }
   ::freeaddrinfo(resolved);
   if (fd < 0) {
-    throw std::runtime_error("moela_serve client: cannot connect to " + host +
-                             ":" + port_text + " (" + error + ")");
+    throw std::runtime_error(where() + ": cannot connect (" + error + ")");
   }
   fd_ = fd;
   reader_ = std::make_unique<LineReader>(fd_);
@@ -64,12 +70,12 @@ void Client::disconnect() {
 
 Json Client::transact(Json message, const EventHandler& on_event) {
   if (!connected()) {
-    throw std::runtime_error("moela_serve client: not connected");
+    throw std::runtime_error(where() + ": not connected");
   }
   const std::uint64_t id = next_id_++;
   message.set("id", id);
   if (!send_json(fd_, message)) {
-    throw std::runtime_error("moela_serve client: connection lost (send)");
+    throw std::runtime_error(where() + ": connection lost (send)");
   }
   std::string line;
   while (reader_->read_line(line)) {
@@ -77,7 +83,7 @@ Json Client::transact(Json message, const EventHandler& on_event) {
     std::string parse_error;
     const auto response = Json::try_parse(line, &parse_error);
     if (!response.has_value()) {
-      throw std::runtime_error("moela_serve client: bad response line: " +
+      throw std::runtime_error(where() + ": bad response line: " +
                                parse_error);
     }
     const Json* response_id = response->find("id");
@@ -90,8 +96,8 @@ Json Client::transact(Json message, const EventHandler& on_event) {
     }
     return *response;
   }
-  throw std::runtime_error("moela_serve client: connection closed before "
-                           "the response arrived");
+  throw std::runtime_error(where() + ": connection closed before the "
+                           "response arrived");
 }
 
 std::vector<api::RunReport> Client::run(
@@ -108,13 +114,14 @@ std::vector<api::RunReport> Client::run(
   const Json response = transact(std::move(message), on_event);
   if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
     const Json* error = response.find("error");
-    throw RemoteError(error != nullptr && error->is_string()
-                          ? error->as_string()
-                          : "server rejected the batch");
+    throw RemoteError(where() + ": " +
+                      (error != nullptr && error->is_string()
+                           ? error->as_string()
+                           : "server rejected the batch"));
   }
   const Json* reports_json = response.find("reports");
   if (reports_json == nullptr || !reports_json->is_array()) {
-    throw RemoteError("malformed response: missing 'reports'");
+    throw RemoteError(where() + ": malformed response: missing 'reports'");
   }
   std::vector<api::RunReport> reports;
   reports.reserve(reports_json->as_array().size());
@@ -124,7 +131,8 @@ std::vector<api::RunReport> Client::run(
       const std::string label =
           i < requests.size() ? requests[i].label_or_default()
                               : std::to_string(i);
-      throw RemoteError("run '" + label + "' failed: " + error->as_string());
+      throw RemoteError(where() + ": run '" + label +
+                        "' failed: " + error->as_string());
     }
     reports.push_back(api::report_from_json(entry));
   }
@@ -143,13 +151,27 @@ bool Client::ping() {
   }
 }
 
+Json Client::health() {
+  Json message = Json::object();
+  message.set("verb", "health");
+  Json response = transact(std::move(message), nullptr);
+  if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
+    const Json* error = response.find("error");
+    throw RemoteError(where() + ": " +
+                      (error != nullptr && error->is_string()
+                           ? error->as_string()
+                           : "health probe rejected"));
+  }
+  return response;
+}
+
 Json Client::list_algorithms() {
   Json message = Json::object();
   message.set("verb", "list_algorithms");
   const Json response = transact(std::move(message), nullptr);
   const Json* algorithms = response.find("algorithms");
   if (algorithms == nullptr) {
-    throw RemoteError("malformed response: missing 'algorithms'");
+    throw RemoteError(where() + ": malformed response: missing 'algorithms'");
   }
   return *algorithms;
 }
@@ -160,7 +182,7 @@ std::vector<std::string> Client::list_problems() {
   const Json response = transact(std::move(message), nullptr);
   const Json* problems = response.find("problems");
   if (problems == nullptr || !problems->is_array()) {
-    throw RemoteError("malformed response: missing 'problems'");
+    throw RemoteError(where() + ": malformed response: missing 'problems'");
   }
   std::vector<std::string> out;
   out.reserve(problems->as_array().size());

@@ -56,8 +56,17 @@ class Client {
       const std::vector<api::RunRequest>& requests,
       bool stream_progress = false, EventHandler on_event = nullptr);
 
+  /// "host:port" of the daemon this client (last) connected to; empty
+  /// before the first connect(). Error messages carry it so multi-shard
+  /// failures stay attributable.
+  const std::string& endpoint() const { return endpoint_; }
+
   /// True when the daemon answers a ping.
   bool ping();
+  /// Load/health snapshot (health verb): jobs, inflight, max_inflight,
+  /// runs_handled, accepting, cache counters. Throws RemoteError when the
+  /// daemon predates the verb.
+  util::Json health();
   /// {"name", "knobs": [...]} per registered algorithm.
   util::Json list_algorithms();
   std::vector<std::string> list_problems();
@@ -70,9 +79,12 @@ class Client {
   /// Sends one verb object (assigning the id) and reads lines until the
   /// matching final response; event lines go to `on_event`.
   util::Json transact(util::Json message, const EventHandler& on_event);
+  /// "moela_serve client[host:port]" — the prefix of every error message.
+  std::string where() const;
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  std::string endpoint_;
   std::unique_ptr<LineReader> reader_;
 };
 

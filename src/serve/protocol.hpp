@@ -1,7 +1,7 @@
 // moela_serve wire protocol: line-delimited JSON over TCP, one object per
 // line in each direction. Shared by the server (serve/server.hpp) and the
-// client (serve/client.hpp); the full reference lives in README.md's
-// "Serving" section.
+// client (serve/client.hpp); the full reference (framing, error envelopes,
+// worked examples) lives in docs/protocol.md.
 //
 // Client → server, each line an object with a client-chosen "id" (echoed
 // back on every response line) and a "verb":
@@ -12,7 +12,11 @@
 //   {"id":4,"verb":"cache_stats"}
 //   {"id":5,"verb":"run","requests":[<RunRequest JSON, api/serde.hpp>,...],
 //    "progress":true}
-//   {"id":6,"verb":"shutdown"}
+//   {"id":6,"verb":"health"}     — load snapshot (jobs, inflight,
+//                                  runs_handled, accepting, cache counters);
+//                                  api::ShardedExecutor probes it for
+//                                  placement
+//   {"id":7,"verb":"shutdown"}
 //
 // Server → client, every line tagged with the request's "id":
 //

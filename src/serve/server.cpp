@@ -41,6 +41,22 @@ void close_fd(int& fd) {
   }
 }
 
+/// The cache-counter block shared by the cache_stats and health verbs
+/// (one source of truth so the two views cannot drift).
+Json cache_counters_json(bool enabled, const api::ResultCache* cache) {
+  Json out = Json::object();
+  out.set("enabled", enabled);
+  if (enabled && cache != nullptr) {
+    const api::ResultCache::Stats stats = cache->stats();
+    out.set("memory_hits", stats.memory_hits)
+        .set("disk_hits", stats.disk_hits)
+        .set("misses", stats.misses)
+        .set("stores", stats.stores)
+        .set("evictions", stats.evictions);
+  }
+  return out;
+}
+
 }  // namespace
 
 Server::Server(ServeConfig config)
@@ -63,10 +79,10 @@ Server::~Server() {
 }
 
 void Server::start() {
-  if (started_) throw std::runtime_error("Server: already started");
+  if (started_) throw std::runtime_error("moela_serve: already started");
 
   if (::pipe(signal_pipe_) != 0) {
-    throw std::runtime_error("Server: pipe() failed");
+    throw std::runtime_error("moela_serve: pipe() failed");
   }
   ::fcntl(signal_pipe_[0], F_SETFD, FD_CLOEXEC);
   ::fcntl(signal_pipe_[1], F_SETFD, FD_CLOEXEC);
@@ -79,14 +95,14 @@ void Server::start() {
   if (::getaddrinfo(config_.host.c_str(), port_text.c_str(), &hints,
                     &resolved) != 0 ||
       resolved == nullptr) {
-    throw std::runtime_error("Server: cannot resolve host '" + config_.host +
+    throw std::runtime_error("moela_serve: cannot resolve host '" + config_.host +
                              "'");
   }
   listen_fd_ = ::socket(resolved->ai_family, resolved->ai_socktype,
                         resolved->ai_protocol);
   if (listen_fd_ < 0) {
     ::freeaddrinfo(resolved);
-    throw std::runtime_error("Server: socket() failed");
+    throw std::runtime_error("moela_serve: socket() failed");
   }
   const int enable = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
@@ -97,7 +113,7 @@ void Server::start() {
   if (bind_rc != 0 || ::listen(listen_fd_, 128) != 0) {
     const std::string what = std::strerror(errno);
     close_fd(listen_fd_);
-    throw std::runtime_error("Server: cannot listen on " + config_.host +
+    throw std::runtime_error("moela_serve: cannot listen on " + config_.host +
                              ":" + port_text + " (" + what + ")");
   }
   sockaddr_in bound{};
@@ -187,6 +203,13 @@ void Server::wait() {
   std::lock_guard<std::mutex> lock(wait_mutex_);
   if (!started_ || joined_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Re-issue the drain nudge now that the accept loop is gone: the
+  // watcher's begin_drain() and the accept loop's own nudge cover the
+  // registration window between them, but a reader parked in recv() can
+  // still miss its SHUT_RD wake in that instant; nudging again here is
+  // idempotent and guarantees every reader unblocks before the joins
+  // below.
+  begin_drain();
   // No new connections can appear past this point.
   std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> remaining;
   {
@@ -295,22 +318,31 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
     response.set("problems", std::move(problems));
     respond(response);
   } else if (verb == "cache_stats") {
-    Json cache = Json::object();
-    cache.set("enabled", config_.use_cache);
+    Json cache = cache_counters_json(config_.use_cache, &cache_);
     if (config_.use_cache) {
-      const api::ResultCache::Stats stats = cache_.stats();
       cache.set("dir", cache_.disk_dir())
           .set("max_disk_bytes",
-               static_cast<std::uint64_t>(cache_.max_disk_bytes()))
-          .set("memory_hits", stats.memory_hits)
-          .set("disk_hits", stats.disk_hits)
-          .set("misses", stats.misses)
-          .set("stores", stats.stores)
-          .set("evictions", stats.evictions);
+               static_cast<std::uint64_t>(cache_.max_disk_bytes()));
     }
     Json response = make_ok(id);
     response.set("cache", std::move(cache))
         .set("runs_handled", runs_handled());
+    respond(response);
+  } else if (verb == "health") {
+    // One-line load snapshot for shard placement (api::ShardedExecutor
+    // probes this before partitioning a batch): capacity, current load,
+    // lifetime counters, and whether new runs would be accepted.
+    Json cache = cache_counters_json(config_.use_cache, &cache_);
+    Json response = make_ok(id);
+    response.set("server", "moela_serve")
+        .set("protocol", kProtocolVersion)
+        .set("jobs", static_cast<std::uint64_t>(executor_->jobs()))
+        .set("inflight", static_cast<std::uint64_t>(inflight_total()))
+        .set("max_inflight",
+             static_cast<std::uint64_t>(config_.max_inflight))
+        .set("runs_handled", runs_handled())
+        .set("accepting", !shutdown_requested())
+        .set("cache", std::move(cache));
     respond(response);
   } else if (verb == "run") {
     handle_run(connection, id, *message);
@@ -382,6 +414,7 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
       break;
     }
   }
+  inflight_total_.fetch_add(batch_size, std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(connection->batch_mutex);
   // Reap finished dispatcher threads so a long-lived connection does not
@@ -463,13 +496,17 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
   }
 
   runs_handled_.fetch_add(batch_size, std::memory_order_relaxed);
+  // Release the in-flight slots BEFORE the final response goes out, so a
+  // client that reads the response and immediately asks `health` never
+  // observes its own finished batch as load.
+  connection->inflight.fetch_sub(batch_size, std::memory_order_relaxed);
+  inflight_total_.fetch_sub(batch_size, std::memory_order_relaxed);
   Json response = make_ok(id);
   response.set("reports", std::move(reports));
   {
     std::lock_guard<std::mutex> lock(connection->write_mutex);
     send_json(connection->fd, response);
   }
-  connection->inflight.fetch_sub(batch_size, std::memory_order_relaxed);
 }
 
 }  // namespace moela::serve

@@ -110,6 +110,12 @@ class Server {
     return runs_handled_.load(std::memory_order_relaxed);
   }
 
+  /// Runs queued or running across all connections right now (for tests
+  /// and the health verb).
+  std::size_t inflight_total() const {
+    return inflight_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection {
     explicit Connection(int fd) : fd(fd) {}
@@ -162,6 +168,9 @@ class Server {
   std::atomic<bool> hard_stop_{false};
   std::atomic<bool> watcher_exit_{false};
   std::atomic<std::uint64_t> runs_handled_{0};
+  /// Runs queued or running across ALL connections right now (the `health`
+  /// verb's load signal for shard placement).
+  std::atomic<std::size_t> inflight_total_{0};
   bool started_ = false;
   bool joined_ = false;
   std::mutex wait_mutex_;

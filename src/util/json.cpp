@@ -398,6 +398,31 @@ std::optional<Json> Json::try_parse(std::string_view text,
   }
 }
 
+std::uint64_t u64_field_or(const Json& object, const std::string& key,
+                           std::uint64_t fallback) {
+  const Json* value = object.find(key);
+  if (value == nullptr) return fallback;
+  try {
+    return value->as_u64();
+  } catch (const JsonError&) {
+    return fallback;
+  }
+}
+
+double double_field_or(const Json& object, const std::string& key,
+                       double fallback) {
+  const Json* value = object.find(key);
+  return value != nullptr && value->is_number() ? value->as_double()
+                                                : fallback;
+}
+
+std::string string_field_or(const Json& object, const std::string& key,
+                            std::string fallback) {
+  const Json* value = object.find(key);
+  return value != nullptr && value->is_string() ? value->as_string()
+                                                : std::move(fallback);
+}
+
 Json exact_number(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%a", value);

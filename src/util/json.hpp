@@ -119,6 +119,16 @@ class Json {
       value_;
 };
 
+/// Defensive object-field readers for version-skew-tolerant consumers
+/// (protocol events from a daemon of another build): a missing or
+/// mistyped field yields the fallback instead of throwing.
+std::uint64_t u64_field_or(const Json& object, const std::string& key,
+                           std::uint64_t fallback);
+double double_field_or(const Json& object, const std::string& key,
+                       double fallback);
+std::string string_field_or(const Json& object, const std::string& key,
+                            std::string fallback = {});
+
 /// Bit-exact double carrier: a hexfloat string value ("%a" rendering, the
 /// same one used by the result cache's disk tier and cache keys).
 Json exact_number(double value);

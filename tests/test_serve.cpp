@@ -184,6 +184,23 @@ TEST(Serve, CacheStatsVerb) {
   EXPECT_EQ(response.find("runs_handled")->as_u64(), 2u);
 }
 
+TEST(Serve, HealthVerbReportsLoadAndCounters) {
+  ServerFixture fixture;
+  const Json cold = fixture.client.health();
+  EXPECT_TRUE(cold.find("ok")->as_bool());
+  EXPECT_TRUE(cold.find("accepting")->as_bool());
+  EXPECT_EQ(cold.find("inflight")->as_u64(), 0u);
+  EXPECT_EQ(cold.find("runs_handled")->as_u64(), 0u);
+  EXPECT_GE(cold.find("jobs")->as_u64(), 1u);
+  ASSERT_NE(cold.find("cache"), nullptr);
+  EXPECT_FALSE(cold.find("cache")->find("enabled")->as_bool());
+
+  fixture.client.run({zdt1_request("moela")});
+  const Json warm = fixture.client.health();
+  EXPECT_EQ(warm.find("runs_handled")->as_u64(), 1u);
+  EXPECT_EQ(warm.find("inflight")->as_u64(), 0u);
+}
+
 // --- progress streaming ---------------------------------------------------
 
 TEST(Serve, StreamsProgressAndFinishedEvents) {

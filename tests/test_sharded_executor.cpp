@@ -1,0 +1,444 @@
+// Tests for api::ShardedExecutor (src/api/sharded_executor.*): real
+// in-process moela_serve daemons on ephemeral ports, driven through the
+// coordinator. The acceptance property is the ISSUE/ROADMAP one — a
+// fixed-seed sweep sharded across >= 2 daemons merges bit-identical to the
+// same sweep run inline, in request order, under both placement policies —
+// plus the fault paths: a dead shard's slice retried onto the survivor,
+// exhausted attempt caps failing the batch with attributable errors, the
+// local fallback, and stop-before-run cancellation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/executor.hpp"
+#include "api/request.hpp"
+#include "api/sharded_executor.hpp"
+#include "serve/server.hpp"
+
+namespace moela::api {
+namespace {
+
+RunRequest zdt1_request(const std::string& algorithm, std::uint64_t seed) {
+  RunRequest request;
+  request.problem = "zdt1";
+  request.problem_options.num_variables = 10;
+  request.algorithm = algorithm;
+  request.options.max_evaluations = 500;
+  request.options.snapshot_interval = 250;
+  request.options.seed = seed;
+  request.options.population_size = 12;
+  request.options.n_local = 3;
+  request.label = "zdt1:" + algorithm + ":" + std::to_string(seed);
+  return request;
+}
+
+std::vector<RunRequest> sweep_requests() {
+  std::vector<RunRequest> requests;
+  for (const char* algorithm : {"moela", "nsga2"}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      requests.push_back(zdt1_request(algorithm, seed));
+    }
+  }
+  return requests;
+}
+
+/// A cache-less daemon on 127.0.0.1:<ephemeral>.
+std::unique_ptr<serve::Server> make_server(std::size_t jobs = 1) {
+  serve::ServeConfig config;
+  config.host = "127.0.0.1";
+  config.port = 0;
+  config.jobs = jobs;
+  config.use_cache = false;
+  auto server = std::make_unique<serve::Server>(std::move(config));
+  server->start();
+  return server;
+}
+
+/// A loopback port with nothing listening on it: bound once to reserve a
+/// number the kernel will then refuse connections to.
+int closed_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// A listener that accepts one connection and immediately closes it: the
+/// coordinator's connect succeeds, but the first chunk submitted on the
+/// connection fails at the transport level — the deterministic stand-in
+/// for a daemon that dies mid-run after joining the fleet.
+struct AcceptAndCloseEndpoint {
+  AcceptAndCloseEndpoint() {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd, 4), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port = ntohs(addr.sin_port);
+    closer = std::thread([this] {
+      for (;;) {
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) return;  // listener shut down
+        ::close(conn);
+      }
+    });
+  }
+  ~AcceptAndCloseEndpoint() {
+    ::shutdown(fd, SHUT_RDWR);  // wakes the blocked accept
+    if (closer.joinable()) closer.join();
+    ::close(fd);
+  }
+
+  int fd = -1;
+  int port = 0;
+  std::thread closer;
+};
+
+void expect_equal_modulo_cache(const RunReport& inline_report,
+                               const RunReport& sharded_report) {
+  EXPECT_EQ(sharded_report.algorithm, inline_report.algorithm);
+  EXPECT_EQ(sharded_report.final_front, inline_report.final_front);
+  EXPECT_EQ(sharded_report.final_objectives, inline_report.final_objectives);
+  EXPECT_EQ(sharded_report.evaluations, inline_report.evaluations);
+  ASSERT_EQ(sharded_report.snapshots.size(), inline_report.snapshots.size());
+  for (std::size_t i = 0; i < sharded_report.snapshots.size(); ++i) {
+    EXPECT_EQ(sharded_report.snapshots[i].evaluations,
+              inline_report.snapshots[i].evaluations);
+    EXPECT_EQ(sharded_report.snapshots[i].front,
+              inline_report.snapshots[i].front);
+  }
+  EXPECT_EQ(sharded_report.provenance.problem,
+            inline_report.provenance.problem);
+  EXPECT_EQ(sharded_report.provenance.algorithm_key,
+            inline_report.provenance.algorithm_key);
+  EXPECT_EQ(sharded_report.provenance.seed, inline_report.provenance.seed);
+  EXPECT_EQ(sharded_report.provenance.cache_key,
+            inline_report.provenance.cache_key);
+  EXPECT_EQ(sharded_report.provenance.cancelled,
+            inline_report.provenance.cancelled);
+}
+
+std::vector<RunReport> inline_reports(const std::vector<RunRequest>& sweep) {
+  Executor direct({.jobs = 2});
+  return direct.run_all(sweep);
+}
+
+// --- the acceptance property ---------------------------------------------
+
+TEST(ShardedExecutor, RoundRobinBitIdenticalToInline) {
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  auto a = make_server();
+  auto b = make_server();
+  auto c = make_server();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", a->port()},
+                      {"127.0.0.1", b->port()},
+                      {"127.0.0.1", c->port()}};
+  config.policy = ShardPolicy::kRoundRobin;
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  // Static placement: 6 requests round-robin over 3 healthy shards.
+  std::size_t total = 0;
+  for (const ShardStats& shard : sharded.shard_stats()) {
+    EXPECT_TRUE(shard.healthy);
+    EXPECT_EQ(shard.completed, 2u);
+    total += shard.completed;
+  }
+  EXPECT_EQ(total, sweep.size());
+}
+
+TEST(ShardedExecutor, WorkStealingBitIdenticalAndInRequestOrder) {
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  // Asymmetric daemons so the fast one steals more of the batch — the
+  // merged order must not care.
+  auto slow = make_server(1);
+  auto fast = make_server(4);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", slow->port()},
+                      {"127.0.0.1", fast->port()}};
+  config.policy = ShardPolicy::kWorkStealing;
+  ShardedExecutor sharded(config);
+
+  RunControl control;
+  std::atomic<std::size_t> finished{0};
+  control.on_progress([&finished](const RunProgress& progress) {
+    if (progress.finished) ++finished;
+  });
+  const std::vector<RunReport> merged = sharded.run_all(sweep, &control);
+
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    // Request order: merged[i] answers sweep[i] (seed is the witness) ...
+    EXPECT_EQ(merged[i].provenance.seed, sweep[i].options.seed);
+    // ... and the content is bit-identical to the inline run.
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  EXPECT_EQ(finished.load(), sweep.size());
+  std::size_t total = 0;
+  for (const ShardStats& shard : sharded.shard_stats()) {
+    total += shard.completed;
+  }
+  EXPECT_EQ(total, sweep.size());
+}
+
+// --- fault paths ----------------------------------------------------------
+
+TEST(ShardedExecutor, DeadShardSliceRetriesOntoSurvivor) {
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  auto survivor = make_server();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", closed_port()},
+                      {"127.0.0.1", survivor->port()}};
+  config.policy = ShardPolicy::kRoundRobin;
+  // No placement gate: the dead shard keeps its static slice until its
+  // connect fails, so the requeue machinery itself is on the hook.
+  config.probe_health = false;
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), sweep.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  const std::vector<ShardStats>& stats = sharded.shard_stats();
+  EXPECT_FALSE(stats[0].healthy);  // assumed healthy only until connect fails
+  EXPECT_EQ(stats[0].completed, 0u);
+  EXPECT_GE(stats[0].failures, 1u);
+  EXPECT_FALSE(stats[0].error.empty());
+  EXPECT_EQ(stats[1].completed, sweep.size());
+}
+
+TEST(ShardedExecutor, MidRunTransportFailureHandsWholeSliceToSurvivor) {
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  // The evil endpoint accepts the connection (so it passes the connect,
+  // unlike a closed port) and then drops it: its first chunk fails
+  // mid-conversation and its WHOLE static slice — not just the in-flight
+  // chunk — must migrate to the survivor, or the batch would hang.
+  AcceptAndCloseEndpoint evil;
+  auto survivor = make_server();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", evil.port},
+                      {"127.0.0.1", survivor->port()}};
+  config.policy = ShardPolicy::kRoundRobin;
+  config.probe_health = false;
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), sweep.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  const std::vector<ShardStats>& stats = sharded.shard_stats();
+  EXPECT_EQ(stats[0].completed, 0u);
+  EXPECT_GE(stats[0].failures, 1u);
+  EXPECT_EQ(stats[1].completed, sweep.size());
+}
+
+TEST(ShardedExecutor, HealthProbeLeavesDeadShardOutOfPlacement) {
+  auto survivor = make_server();
+  const int dead = closed_port();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", dead}, {"127.0.0.1", survivor->port()}};
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged =
+      sharded.run_all({zdt1_request("nsga2", 1), zdt1_request("nsga2", 2)});
+
+  EXPECT_EQ(merged.size(), 2u);
+  const std::vector<ShardStats>& stats = sharded.shard_stats();
+  EXPECT_FALSE(stats[0].healthy);
+  // The probe failure names the dead endpoint (the satellite contract:
+  // multi-shard errors are attributable).
+  EXPECT_NE(stats[0].error.find(std::to_string(dead)), std::string::npos);
+  EXPECT_TRUE(stats[1].healthy);
+  EXPECT_EQ(stats[1].completed, 2u);
+}
+
+TEST(ShardedExecutor, AllShardsDownThrowsWithEndpoints) {
+  const int dead_a = closed_port();
+  const int dead_b = closed_port();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", dead_a}, {"127.0.0.1", dead_b}};
+  ShardedExecutor sharded(config);
+  try {
+    sharded.run_all({zdt1_request("nsga2", 1)});
+    FAIL() << "expected the batch to fail with no healthy shard";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unserved"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(dead_a)), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(dead_b)), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedExecutor, AllShardsDownFallsBackLocally) {
+  const std::vector<RunRequest> sweep = {zdt1_request("nsga2", 1),
+                                         zdt1_request("moela", 2)};
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", closed_port()}};
+  config.local_fallback = true;
+  config.local_jobs = 1;
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), sweep.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  EXPECT_FALSE(sharded.shard_stats()[0].healthy);
+}
+
+TEST(ShardedExecutor, FallbackPoisonFailsBatchNamingOnlyThePoison) {
+  // The fallback Executor drains every request even when one of them
+  // throws locally too; the aggregate error then names exactly the
+  // poison.
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", closed_port()}};
+  config.local_fallback = true;
+  config.local_jobs = 1;
+  RunRequest poison = zdt1_request("nsga2", 1);
+  poison.algorithm = "no-such-algorithm";
+  poison.label = "poison";
+  ShardedExecutor sharded(config);
+  try {
+    sharded.run_all({zdt1_request("nsga2", 2), poison});
+    FAIL() << "expected the locally-poison request to fail the batch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 of 2 request(s) unserved"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("'poison'"), std::string::npos) << what;
+    EXPECT_NE(what.find("local fallback:"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedExecutor, PoisonChunkMatesRetrySoloAndComplete) {
+  // One daemon, wire batches of 4: the poison rides with three good
+  // requests, the server rejects the whole batch, and the good three must
+  // complete on solo retries — only the poison may end up unserved.
+  auto server = make_server(4);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", server->port()}};
+  config.steal_chunk = 4;
+  config.max_attempts = 2;
+
+  std::vector<RunRequest> sweep = {zdt1_request("nsga2", 1),
+                                   zdt1_request("nsga2", 2),
+                                   zdt1_request("nsga2", 3),
+                                   zdt1_request("nsga2", 4)};
+  sweep[1].algorithm = "no-such-algorithm";
+  sweep[1].label = "poison";
+  ShardedExecutor sharded(config);
+  try {
+    sharded.run_all(sweep);
+    FAIL() << "expected the poison request to fail the batch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    // Exactly the poison is unserved; its chunk-mates were not charged.
+    EXPECT_NE(what.find("1 of 4 request(s) unserved"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("poison"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedExecutor, PoisonRequestExhaustsItsAttemptCap) {
+  auto a = make_server();
+  auto b = make_server();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}};
+  config.max_attempts = 2;
+
+  RunRequest poison = zdt1_request("nsga2", 1);
+  poison.algorithm = "no-such-algorithm";
+  poison.label = "poison";
+  ShardedExecutor sharded(config);
+  try {
+    sharded.run_all({zdt1_request("nsga2", 1), poison});
+    FAIL() << "expected the poison request to fail the batch";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("poison"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 attempt(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("no-such-algorithm"), std::string::npos) << what;
+  }
+}
+
+TEST(ShardedExecutor, StopBeforeRunYieldsCancelledReports) {
+  auto server = make_server();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", server->port()}};
+  ShardedExecutor sharded(config);
+
+  RunControl control;
+  control.request_stop();
+  const std::vector<RunReport> merged =
+      sharded.run_all(sweep_requests(), &control);
+  ASSERT_EQ(merged.size(), 6u);
+  for (const RunReport& report : merged) {
+    EXPECT_TRUE(report.provenance.cancelled);
+    EXPECT_EQ(report.evaluations, 0u);
+  }
+}
+
+TEST(ShardedExecutor, RejectsEmptyOrDegenerateConfigs) {
+  EXPECT_THROW(ShardedExecutor(ShardedExecutorConfig{}),
+               std::invalid_argument);
+  ShardedExecutorConfig no_attempts;
+  no_attempts.endpoints = {{"127.0.0.1", 1}};
+  no_attempts.max_attempts = 0;
+  EXPECT_THROW(ShardedExecutor{no_attempts}, std::invalid_argument);
+}
+
+TEST(ShardedExecutor, ExplicitChunkSizeBatchesTheWire) {
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  auto server = make_server(2);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", server->port()}};
+  config.steal_chunk = 4;  // two wire batches of 4 + 2 for the 6 requests
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+}
+
+}  // namespace
+}  // namespace moela::api

@@ -16,6 +16,9 @@
 // moela_serve daemon instead of running in-process: requests travel as
 // line-delimited JSON (api/serde.hpp), reports come back bit-identical to
 // a local run, and the daemon's process-lifetime cache answers repeats.
+// Repeating --connect fans the batch across a daemon FLEET through
+// api::ShardedExecutor (--shard-policy picks the placement); merged
+// reports are still bit-identical to an inline run.
 //
 //   moela_cli --problem zdt1 --algorithm moela --evals 2000 --seed 1
 //   moela_cli --problem zdt1 --algo moela --algo nsga2 --replicates 3 \
@@ -24,7 +27,10 @@
 //             --algo moela --algo moos --seconds 5 --jobs 2
 //   moela_cli --connect localhost:7313 --problem zdt1 --algo moela \
 //             --replicates 3 --evals 2000
-//   moela_cli --connect :7313 --shutdown     # drain the daemon
+//   moela_cli --connect host1:7313 --connect host2:7313 \
+//             --shard-policy work-steal --problem zdt1 --algo moela \
+//             --replicates 8 --evals 2000      # sharded sweep
+//   moela_cli --connect :7313 --shutdown     # drain the daemon(s)
 //   moela_cli --list
 //
 // stdout carries the final Pareto front(s) as CSV (one objective per
@@ -50,6 +56,7 @@
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
 #include "api/run_log.hpp"
+#include "api/sharded_executor.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
@@ -73,8 +80,12 @@ struct CliOptions {
   std::string out_path;    // empty = stdout
   std::string trace_path;  // empty = no trace dump
   std::string run_log_path;  // empty = $MOELA_RUN_LOG (via the Executor)
-  std::string connect;     // "host:port": submit to a moela_serve daemon
-  bool remote_shutdown = false;  // with --connect: drain the daemon
+  /// moela_serve endpoints ("host:port", repeatable). One = plain remote
+  /// submission; several = a sharded batch via api::ShardedExecutor.
+  std::vector<std::string> connect;
+  api::ShardPolicy shard_policy = api::ShardPolicy::kWorkStealing;
+  bool shard_policy_set = false;  // explicit --shard-policy forces sharding
+  bool remote_shutdown = false;  // with --connect: drain the daemon(s)
   bool list = false;
   bool help = false;
 };
@@ -121,8 +132,14 @@ void print_usage(std::FILE* to) {
                "  --connect H:P      submit to a moela_serve daemon instead "
                "of running\n"
                "                     in-process (cache/jobs are then "
-               "server-side)\n"
-               "  --shutdown         with --connect: ask the daemon to "
+               "server-side);\n"
+               "                     repeatable — several endpoints shard "
+               "the batch\n"
+               "                     across the fleet (docs/operations.md)\n"
+               "  --shard-policy P   shard placement: work-steal (default) "
+               "or\n"
+               "                     round-robin\n"
+               "  --shutdown         with --connect: ask the daemon(s) to "
                "drain and exit\n"
                "  --progress         stream in-run progress at the snapshot "
                "cadence\n"
@@ -260,7 +277,19 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       cli.run_log_path = v;
     } else if (arg == "--connect") {
       if ((v = need_value(i, "--connect")) == nullptr) return std::nullopt;
-      cli.connect = v;
+      cli.connect.push_back(v);
+    } else if (arg == "--shard-policy") {
+      if ((v = need_value(i, "--shard-policy")) == nullptr) {
+        return std::nullopt;
+      }
+      if (!api::parse_shard_policy(v, cli.shard_policy)) {
+        std::fprintf(stderr,
+                     "moela_cli: bad --shard-policy '%s' (want work-steal "
+                     "or round-robin)\n",
+                     v);
+        return std::nullopt;
+      }
+      cli.shard_policy_set = true;
     } else if (arg == "--shutdown") {
       cli.remote_shutdown = true;
     } else if (arg == "--out") {
@@ -358,6 +387,18 @@ int list_remote(serve::Client& client) {
   return 0;
 }
 
+/// With --connect, execution settings live daemon-side; note the flags
+/// this invocation set that will not travel.
+void warn_daemon_side_flags(const CliOptions& cli) {
+  if (!cli.use_cache || !cli.cache_dir.empty() || cli.jobs != 1 ||
+      !cli.run_log_path.empty()) {
+    std::fprintf(stderr,
+                 "moela_cli: note: --jobs/--no-cache/--cache-dir/"
+                 "--run-log are daemon-side settings; ignored with "
+                 "--connect\n");
+  }
+}
+
 /// Warns about --knob names no selected algorithm declares (they would be
 /// silently ignored at run time — almost always a typo).
 void warn_unknown_knobs(const CliOptions& cli) {
@@ -404,6 +445,38 @@ std::atomic<api::RunControl*> g_control{nullptr};
 void handle_sigint(int) {
   if (auto* control = g_control.load()) control->request_stop();
   std::signal(SIGINT, SIG_DFL);
+}
+
+/// Clears the signal handler's pointer on every exit path (including a
+/// throwing run), so a late Ctrl-C can never touch a destroyed control.
+struct ControlGuard {
+  explicit ControlGuard(api::RunControl& control) { g_control = &control; }
+  ~ControlGuard() { g_control = nullptr; }
+};
+
+/// The standard stderr progress printer, shared by the in-process and
+/// sharded paths (both notify through api::RunControl with batch-order
+/// indices; the single-daemon path prints from raw protocol events).
+void install_progress_printer(api::RunControl& control,
+                              const std::vector<api::RunRequest>& requests,
+                              bool stream_progress) {
+  control.on_progress([&requests,
+                       stream_progress](const api::RunProgress& p) {
+    if (p.finished) {
+      std::fprintf(stderr,
+                   "moela_cli: [%zu/%zu] %s done (%zu evals, %.2f s%s)\n",
+                   p.completed, p.batch_size,
+                   p.batch_index < requests.size()
+                       ? requests[p.batch_index].label.c_str()
+                       : "?",
+                   p.evaluations, p.seconds, p.cache_hit ? ", cached" : "");
+    } else if (stream_progress) {
+      std::fprintf(stderr,
+                   "moela_cli: [run %zu] %s at %zu/%zu evals (%.2f s)\n",
+                   p.batch_index + 1, p.algorithm.c_str(), p.evaluations,
+                   p.max_evaluations, p.seconds);
+    }
+  });
 }
 
 /// Batch summary + front CSV(s) + optional trace CSV — shared by the
@@ -477,15 +550,15 @@ int write_outputs(const CliOptions& cli,
   return cancelled > 0 ? 130 : 0;
 }
 
-/// The --connect path: same flags, same outputs, but the batch executes in
-/// a moela_serve daemon (whose process-lifetime cache answers repeats) and
-/// the reports travel back as line-delimited JSON.
+/// The single --connect path: same flags, same outputs, but the batch
+/// executes in one moela_serve daemon (whose process-lifetime cache
+/// answers repeats) and the reports travel back as line-delimited JSON.
 int run_remote(const CliOptions& cli) {
   std::string host;
   int port = 0;
-  if (!serve::parse_host_port(cli.connect, host, port)) {
+  if (!serve::parse_host_port(cli.connect.front(), host, port)) {
     std::fprintf(stderr, "moela_cli: bad --connect '%s' (want host:port)\n",
-                 cli.connect.c_str());
+                 cli.connect.front().c_str());
     return 2;
   }
   try {
@@ -503,13 +576,7 @@ int run_remote(const CliOptions& cli) {
                            "required (or --shutdown / --list)\n");
       return 2;
     }
-    if (!cli.use_cache || !cli.cache_dir.empty() || cli.jobs != 1 ||
-        !cli.run_log_path.empty()) {
-      std::fprintf(stderr,
-                   "moela_cli: note: --jobs/--no-cache/--cache-dir/"
-                   "--run-log are daemon-side settings; ignored with "
-                   "--connect\n");
-    }
+    warn_daemon_side_flags(cli);
     warn_unknown_knobs(cli);
 
     const std::vector<api::RunRequest> requests = build_requests(cli);
@@ -521,42 +588,26 @@ int run_remote(const CliOptions& cli) {
                  cli.run_options.max_seconds);
 
     // Missing/mistyped fields from a version-skewed daemon must degrade
-    // the display, never crash the batch — hence the defaulted readers.
-    auto u64_or = [](const util::Json& event, const char* key,
-                     unsigned long long fallback) -> unsigned long long {
-      const util::Json* v = event.find(key);
-      try {
-        return v != nullptr ? v->as_u64() : fallback;
-      } catch (const std::exception&) {
-        return fallback;
-      }
-    };
-    auto double_or = [](const util::Json& event, const char* key,
-                        double fallback) {
-      const util::Json* v = event.find(key);
-      return v != nullptr && v->is_number() ? v->as_double() : fallback;
-    };
-    auto string_or = [](const util::Json& event, const char* key,
-                        const char* fallback) {
-      const util::Json* v = event.find(key);
-      return v != nullptr && v->is_string() ? v->as_string()
-                                            : std::string(fallback);
-    };
-
+    // the display, never crash the batch — hence the defaulted readers
+    // (util::*_field_or).
     const bool stream_progress = cli.progress;
     util::Timer wall;
     const std::vector<api::RunReport> reports = client.run(
         requests, stream_progress, [&](const util::Json& event) {
           const util::Json* hit = event.find("cache_hit");
-          const std::string kind = string_or(event, "event", "");
+          const std::string kind = util::string_field_or(event, "event");
           if (kind == "finished") {
             std::fprintf(
                 stderr,
                 "moela_cli: [%llu/%llu] %s done (%llu evals, %.2f s%s)\n",
-                u64_or(event, "completed", 0), u64_or(event, "total", 0),
-                string_or(event, "label", "?").c_str(),
-                u64_or(event, "evaluations", 0),
-                double_or(event, "seconds", 0.0),
+                static_cast<unsigned long long>(
+                    util::u64_field_or(event, "completed", 0)),
+                static_cast<unsigned long long>(
+                    util::u64_field_or(event, "total", 0)),
+                util::string_field_or(event, "label", "?").c_str(),
+                static_cast<unsigned long long>(
+                    util::u64_field_or(event, "evaluations", 0)),
+                util::double_field_or(event, "seconds", 0.0),
                 hit != nullptr && hit->is_bool() && hit->as_bool()
                     ? ", cached"
                     : "");
@@ -564,11 +615,14 @@ int run_remote(const CliOptions& cli) {
             std::fprintf(
                 stderr,
                 "moela_cli: [run %llu] %s at %llu/%llu evals (%.2f s)\n",
-                u64_or(event, "index", 0) + 1,
-                string_or(event, "algorithm", "?").c_str(),
-                u64_or(event, "evaluations", 0),
-                u64_or(event, "max_evaluations", 0),
-                double_or(event, "seconds", 0.0));
+                static_cast<unsigned long long>(
+                    util::u64_field_or(event, "index", 0) + 1),
+                util::string_field_or(event, "algorithm", "?").c_str(),
+                static_cast<unsigned long long>(
+                    util::u64_field_or(event, "evaluations", 0)),
+                static_cast<unsigned long long>(
+                    util::u64_field_or(event, "max_evaluations", 0)),
+                util::double_field_or(event, "seconds", 0.0));
           }
         });
     const double wall_seconds = wall.elapsed_seconds();
@@ -578,6 +632,98 @@ int run_remote(const CliOptions& cli) {
       std::fprintf(stderr, "moela_cli: daemon at %s:%d is draining\n",
                    host.c_str(), port);
     }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "moela_cli: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// The multi --connect path: the batch is fanned across a moela_serve
+/// fleet by api::ShardedExecutor and the reports merged back into request
+/// order — bit-identical to an inline or single-daemon run.
+int run_sharded(const CliOptions& cli) {
+  api::ShardedExecutorConfig config;
+  for (const std::string& spec : cli.connect) {
+    api::ShardEndpoint endpoint;
+    if (!api::parse_shard_endpoint(spec, endpoint)) {
+      std::fprintf(stderr, "moela_cli: bad --connect '%s' (want host:port)\n",
+                   spec.c_str());
+      return 2;
+    }
+    config.endpoints.push_back(std::move(endpoint));
+  }
+  config.policy = cli.shard_policy;
+  config.stream_progress = cli.progress;
+
+  auto drain_all = [&config]() {
+    for (const api::ShardEndpoint& endpoint : config.endpoints) {
+      try {
+        serve::Client client;
+        client.connect(endpoint.host, endpoint.port);
+        client.shutdown_server();
+        std::fprintf(stderr, "moela_cli: daemon at %s is draining\n",
+                     endpoint.to_string().c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "moela_cli: %s\n", e.what());
+      }
+    }
+  };
+
+  try {
+    if (cli.list) {
+      // The fleet shares one registry by construction; ask the first
+      // daemon.
+      serve::Client client;
+      client.connect(config.endpoints.front().host,
+                     config.endpoints.front().port);
+      return list_remote(client);
+    }
+    if (cli.problem.empty() || cli.algorithms.empty()) {
+      if (cli.remote_shutdown) {
+        drain_all();
+        return 0;
+      }
+      std::fprintf(stderr, "moela_cli: --problem and --algorithm are "
+                           "required (or --shutdown / --list)\n");
+      return 2;
+    }
+    warn_daemon_side_flags(cli);
+    warn_unknown_knobs(cli);
+
+    const std::vector<api::RunRequest> requests = build_requests(cli);
+    std::fprintf(stderr,
+                 "moela_cli: sharding %zu run(s) across %zu daemon(s) "
+                 "(%s placement, evals<=%zu, seconds<=%.1f)\n",
+                 requests.size(), config.endpoints.size(),
+                 api::shard_policy_name(cli.shard_policy).c_str(),
+                 cli.run_options.max_evaluations,
+                 cli.run_options.max_seconds);
+
+    api::ShardedExecutor sharded(config);
+    api::RunControl control;
+    const ControlGuard guard(control);
+    std::signal(SIGINT, handle_sigint);
+    install_progress_printer(control, requests, cli.progress);
+
+    util::Timer wall;
+    const std::vector<api::RunReport> reports =
+        sharded.run_all(requests, &control);
+    const double wall_seconds = wall.elapsed_seconds();
+
+    for (const api::ShardStats& shard : sharded.shard_stats()) {
+      std::string note;
+      if (!shard.healthy) note += " (unreachable)";
+      if (shard.failures > 0) {
+        note += ", " + std::to_string(shard.failures) + " failure(s)";
+      }
+      if (!shard.error.empty()) note += ": " + shard.error;
+      std::fprintf(stderr, "moela_cli: shard %s: %zu run(s)%s\n",
+                   shard.endpoint.c_str(), shard.completed, note.c_str());
+    }
+
+    const int exit_code = write_outputs(cli, requests, reports, wall_seconds);
+    if (cli.remote_shutdown) drain_all();
     return exit_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "moela_cli: %s\n", e.what());
@@ -602,7 +748,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "moela_cli: --shutdown needs --connect\n");
     return 2;
   }
-  if (!cli.connect.empty()) return run_remote(cli);
+  if (cli.shard_policy_set && cli.connect.empty()) {
+    std::fprintf(stderr, "moela_cli: --shard-policy needs --connect\n");
+    return 2;
+  }
+  if (!cli.connect.empty()) {
+    // One endpoint stays on the plain remote path; several (or an explicit
+    // --shard-policy) go through the sharding coordinator.
+    return cli.connect.size() == 1 && !cli.shard_policy_set
+               ? run_remote(cli)
+               : run_sharded(cli);
+  }
   if (cli.list) return list_registry();
   if (cli.problem.empty() || cli.algorithms.empty()) {
     std::fprintf(stderr, "moela_cli: --problem and --algorithm are "
@@ -656,30 +812,14 @@ int main(int argc, char** argv) {
                  cli.use_cache ? cache.disk_dir().c_str() : "off");
 
     api::RunControl control;
-    g_control = &control;
+    const ControlGuard guard(control);
     std::signal(SIGINT, handle_sigint);
-    const bool stream_progress = cli.progress;
-    control.on_progress([&requests,
-                         stream_progress](const api::RunProgress& p) {
-      if (p.finished) {
-        std::fprintf(stderr,
-                     "moela_cli: [%zu/%zu] %s done (%zu evals, %.2f s%s)\n",
-                     p.completed, p.batch_size,
-                     requests[p.batch_index].label.c_str(), p.evaluations,
-                     p.seconds, p.cache_hit ? ", cached" : "");
-      } else if (stream_progress) {
-        std::fprintf(stderr, "moela_cli: [run %zu] %s at %zu/%zu evals "
-                             "(%.2f s)\n",
-                     p.batch_index + 1, p.algorithm.c_str(), p.evaluations,
-                     p.max_evaluations, p.seconds);
-      }
-    });
+    install_progress_printer(control, requests, cli.progress);
 
     util::Timer wall;
     std::vector<api::RunReport> reports =
         executor.run_all(requests, &control);
     const double wall_seconds = wall.elapsed_seconds();
-    g_control = nullptr;
 
     return write_outputs(cli, requests, reports, wall_seconds);
   } catch (const std::exception& e) {
