@@ -134,6 +134,14 @@ void run_shard(const ShardedExecutorConfig& config,
         const std::size_t local =
             util::u64_field_or(event, "index", chunk.size());
         if (local >= chunk.size()) return;
+        // Stale cadence events racing a requested stop are dropped (the
+        // Client already suppresses them once ITS cancel went out; this
+        // covers the window before, and other shards' chunks): nobody
+        // wants to watch progress climb after "cancelling".
+        if (control->stop_requested() &&
+            util::string_field_or(event, "event") != "finished") {
+          return;
+        }
         RunProgress progress;
         progress.batch_size = batch_size;
         progress.batch_index = chunk[local];
@@ -167,8 +175,13 @@ void run_shard(const ShardedExecutorConfig& config,
     std::string error;
     bool transport = false;
     try {
+      // `control` rides into the client so a stop requested while this
+      // chunk is in flight sends the cancel verb to THIS daemon; the
+      // chunk then answers normally with its unfinished members marked
+      // cancelled — a successful response, so no attempt is charged and
+      // the shard is not retired.
       std::vector<RunReport> served =
-          client.run(batch, config.stream_progress, handler);
+          client.run(batch, config.stream_progress, handler, control);
       if (served.size() != chunk.size()) {
         throw std::runtime_error(client.endpoint() +
                                  ": response size mismatch");

@@ -24,11 +24,14 @@
 //     `stream_progress`, the daemons' snapshot-cadence progress events)
 //     are forwarded to the RunControl passed to run_all, index-tagged in
 //     the merged batch order; shard_stats() reports placement afterwards.
-//
-// Cancellation caveat: the wire protocol has no cancel verb, so a
-// RunControl stop takes effect between chunks — in-flight remote chunks
-// finish, unstarted requests return cancelled reports (as the Executor's
-// queued runs do).
+//   * Cancellation — a RunControl stop crosses the wire: every shard with
+//     an in-flight chunk sends the protocol's cancel verb, the daemons
+//     stop those runs at their next budget check, and the merged batch
+//     marks exactly the unfinished runs cancelled (runs completed before
+//     the stop keep their bit-identical reports; unstarted requests
+//     return cancelled reports, as the Executor's queued runs do). A
+//     cancelled chunk answers normally, so cancellation never charges
+//     attempts or retires a shard.
 //
 // Each shard is driven by one thread owning one serve::Client (the Client
 // is single-connection, not thread-safe). Placement policies:

@@ -1,6 +1,8 @@
 #include "exp/scenario.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -27,6 +29,34 @@ bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && std::string(v) == "1";
 }
+
+// Ctrl-C during a bench grid: the same contract as moela_cli — request a
+// graceful stop on the batch's RunControl; a second Ctrl-C falls through
+// to the default disposition. Under MOELA_BENCH_SHARDS the stop crosses
+// the wire as the protocol's cancel verb, so daemon-side in-flight work
+// halts too instead of burning fleet CPU after the bench died. Handlers
+// may only touch lock-free atomics, hence the atomic pointer.
+std::atomic<api::RunControl*> g_scenario_control{nullptr};
+
+void scenario_handle_sigint(int) {
+  if (auto* control = g_scenario_control.load()) control->request_stop();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+/// Installs the handler for the duration of one grid and restores the
+/// previous disposition after, so library callers keep their own signal
+/// setup.
+struct ScenarioSignalGuard {
+  explicit ScenarioSignalGuard(api::RunControl& control) {
+    g_scenario_control.store(&control);
+    previous = std::signal(SIGINT, scenario_handle_sigint);
+  }
+  ~ScenarioSignalGuard() {
+    std::signal(SIGINT, previous == SIG_ERR ? SIG_DFL : previous);
+    g_scenario_control.store(nullptr);
+  }
+  void (*previous)(int) = nullptr;
+};
 
 }  // namespace
 
@@ -149,6 +179,7 @@ std::vector<AppScenarioResult> run_app_scenarios(
   }
 
   api::RunControl control;
+  const ScenarioSignalGuard signal_guard(control);
   control.on_progress([&requests](const api::RunProgress& progress) {
     if (!progress.finished) return;  // in-run cadence events stay quiet
     util::log_info() << requests[progress.batch_index].label << ": done ("
@@ -221,15 +252,24 @@ std::vector<AppScenarioResult> run_app_scenarios(
     result.traces = phv_traces(snapshots, result.bounds);
     // T_stop: every algorithm received the same wall-clock budget; compare
     // at the earliest final-trace timestamp so every run has a sample at or
-    // before the comparison point.
-    result.common_stop_seconds = result.traces.front().back().seconds;
+    // before the comparison point. A Ctrl-C'd grid can leave cancelled
+    // runs with EMPTY traces — those are skipped here (and score PHV 0)
+    // so the bench reports its partial tables instead of crashing.
+    result.common_stop_seconds = 0.0;
+    bool have_stop = false;
     for (const auto& trace : result.traces) {
+      if (trace.empty()) continue;
       result.common_stop_seconds =
-          std::min(result.common_stop_seconds, trace.back().seconds);
+          have_stop
+              ? std::min(result.common_stop_seconds, trace.back().seconds)
+              : trace.back().seconds;
+      have_stop = true;
     }
     for (const auto& trace : result.traces) {
       result.final_phv.push_back(
-          moo::phv_at_time(trace, result.common_stop_seconds));
+          trace.empty()
+              ? 0.0
+              : moo::phv_at_time(trace, result.common_stop_seconds));
     }
     results.push_back(std::move(result));
   }

@@ -68,17 +68,43 @@ void Client::disconnect() {
   reader_.reset();
 }
 
-Json Client::transact(Json message, const EventHandler& on_event) {
+Json Client::transact(Json message, const EventHandler& on_event,
+                      api::RunControl* control) {
   if (!connected()) {
     throw std::runtime_error(where() + ": not connected");
   }
-  const std::uint64_t id = next_id_++;
-  message.set("id", id);
+  std::uint64_t id = 0;
+  if (const Json* preset = message.find("id")) {
+    id = preset->as_u64();
+  } else {
+    id = next_id_++;
+    message.set("id", id);
+  }
   if (!send_json(fd_, message)) {
     throw std::runtime_error(where() + ": connection lost (send)");
   }
+  // With a control, reads poll at a short cadence so a stop request can
+  // interleave the cancel verb on this same conversation; without one the
+  // read blocks as before. The cancel's own ack arrives under a different
+  // id and is skipped by the correlation check like any stray line.
+  const int timeout_ms = control != nullptr ? 50 : -1;
+  bool cancel_sent = false;
   std::string line;
-  while (reader_->read_line(line)) {
+  for (;;) {
+    if (control != nullptr && !cancel_sent && control->stop_requested()) {
+      Json cancel_message = Json::object();
+      cancel_message.set("id", next_id_++)
+          .set("verb", "cancel")
+          .set("target", id);
+      if (!send_json(fd_, cancel_message)) {
+        throw std::runtime_error(where() + ": connection lost (cancel)");
+      }
+      cancel_sent = true;
+    }
+    const LineReader::ReadResult result =
+        reader_->read_line_for(line, timeout_ms);
+    if (result == LineReader::ReadResult::kTimeout) continue;
+    if (result == LineReader::ReadResult::kClosed) break;
     if (line.empty()) continue;
     std::string parse_error;
     const auto response = Json::try_parse(line, &parse_error);
@@ -91,6 +117,14 @@ Json Client::transact(Json message, const EventHandler& on_event) {
       continue;  // a stray line for another (abandoned) request id
     }
     if (response->find("event") != nullptr) {
+      // Progress events racing the cancel are dropped: once "cancelling"
+      // has been decided, a counter that keeps climbing is noise. The
+      // per-run `finished` events still flow — they carry the real
+      // completion tally.
+      if (cancel_sent &&
+          util::string_field_or(*response, "event") == "progress") {
+        continue;
+      }
       if (on_event) on_event(*response);
       continue;
     }
@@ -102,16 +136,18 @@ Json Client::transact(Json message, const EventHandler& on_event) {
 
 std::vector<api::RunReport> Client::run(
     const std::vector<api::RunRequest>& requests, bool stream_progress,
-    EventHandler on_event) {
+    EventHandler on_event, api::RunControl* control) {
   Json requests_json = Json::array();
   for (const auto& request : requests) {
     requests_json.append(api::request_to_json(request));
   }
+  last_run_id_ = next_id_++;
   Json message = Json::object();
-  message.set("verb", "run")
+  message.set("id", last_run_id_)
+      .set("verb", "run")
       .set("requests", std::move(requests_json))
       .set("progress", stream_progress);
-  const Json response = transact(std::move(message), on_event);
+  const Json response = transact(std::move(message), on_event, control);
   if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
     const Json* error = response.find("error");
     throw RemoteError(where() + ": " +
@@ -137,6 +173,22 @@ std::vector<api::RunReport> Client::run(
     reports.push_back(api::report_from_json(entry));
   }
   return reports;
+}
+
+bool Client::cancel(std::uint64_t run_id) {
+  Json message = Json::object();
+  message.set("verb", "cancel").set("target", run_id);
+  const Json response = transact(std::move(message), nullptr);
+  if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
+    const Json* error = response.find("error");
+    throw RemoteError(where() + ": " +
+                      (error != nullptr && error->is_string()
+                           ? error->as_string()
+                           : "cancel rejected"));
+  }
+  const Json* cancelled = response.find("cancelled");
+  return cancelled != nullptr && cancelled->is_bool() &&
+         cancelled->as_bool();
 }
 
 bool Client::ping() {

@@ -6,7 +6,9 @@
 //
 // One Client is one connection and is NOT thread-safe: calls are issued
 // and awaited sequentially (the daemon multiplexes many clients, not one
-// client many threads).
+// client many threads). Cancellation rides the same thread: run() with an
+// api::RunControl polls between response lines and interleaves the cancel
+// verb itself, so no second thread ever touches the socket.
 #pragma once
 
 #include <cstdint>
@@ -49,12 +51,29 @@ class Client {
 
   /// Submits the batch and blocks until the final response. Reports come
   /// back index-aligned with `requests`. `stream_progress` additionally
-  /// requests snapshot-cadence progress events. Throws RemoteError when
-  /// the server rejected the batch or any run failed, and
-  /// std::runtime_error when the connection drops.
+  /// requests snapshot-cadence progress events. `control` (optional) makes
+  /// the wait cancellable: once control->stop_requested() flips, a
+  /// "cancel" verb is sent for this batch — the daemon stops its in-flight
+  /// runs at their next budget check and the final response returns the
+  /// unfinished entries as cancelled reports (identical in shape to an
+  /// inline Executor stop). Progress events arriving after the cancel was
+  /// sent are dropped (the run is winding down; a climbing counter would
+  /// be a lie). Throws RemoteError when the server rejected the batch or
+  /// any run failed, and std::runtime_error when the connection drops.
   std::vector<api::RunReport> run(
       const std::vector<api::RunRequest>& requests,
-      bool stream_progress = false, EventHandler on_event = nullptr);
+      bool stream_progress = false, EventHandler on_event = nullptr,
+      api::RunControl* control = nullptr);
+
+  /// Sends a standalone cancel for an earlier run id on this connection
+  /// (see last_run_id()). Returns true when an in-flight batch was found
+  /// and stopped, false for the benign no-op (already finished, unknown
+  /// id). Idempotent.
+  bool cancel(std::uint64_t run_id);
+
+  /// The request id assigned to the most recent run() call — the cancel
+  /// verb's target handle. 0 before the first run().
+  std::uint64_t last_run_id() const { return last_run_id_; }
 
   /// "host:port" of the daemon this client (last) connected to; empty
   /// before the first connect(). Error messages carry it so multi-shard
@@ -76,14 +95,18 @@ class Client {
   void shutdown_server();
 
  private:
-  /// Sends one verb object (assigning the id) and reads lines until the
-  /// matching final response; event lines go to `on_event`.
-  util::Json transact(util::Json message, const EventHandler& on_event);
+  /// Sends one verb object (assigning the id unless the caller already
+  /// did) and reads lines until the matching final response; event lines
+  /// go to `on_event`. With `control`, reads poll at a short cadence so a
+  /// requested stop can interleave a cancel send mid-conversation.
+  util::Json transact(util::Json message, const EventHandler& on_event,
+                      api::RunControl* control = nullptr);
   /// "moela_serve client[host:port]" — the prefix of every error message.
   std::string where() const;
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  std::uint64_t last_run_id_ = 0;
   std::string endpoint_;
   std::unique_ptr<LineReader> reader_;
 };

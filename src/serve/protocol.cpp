@@ -3,13 +3,15 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 namespace moela::serve {
 
-bool LineReader::read_line(std::string& out) {
+LineReader::ReadResult LineReader::read_line_for(std::string& out,
+                                                 int timeout_ms) {
   for (;;) {
     // Scan only bytes not inspected by a previous pass.
     const std::size_t newline = buffer_.find('\n', scanned_);
@@ -18,16 +20,29 @@ bool LineReader::read_line(std::string& out) {
       if (!out.empty() && out.back() == '\r') out.pop_back();
       buffer_.erase(0, newline + 1);
       scanned_ = 0;
-      return true;
+      return ReadResult::kLine;
     }
     scanned_ = buffer_.size();
-    if (buffer_.size() > max_line_bytes_) return false;  // oversized line
+    if (buffer_.size() > max_line_bytes_) {
+      return ReadResult::kClosed;  // oversized line
+    }
+    if (timeout_ms >= 0) {
+      pollfd poller{};
+      poller.fd = fd_;
+      poller.events = POLLIN;
+      int ready;
+      do {
+        ready = ::poll(&poller, 1, timeout_ms);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) return ReadResult::kTimeout;
+      if (ready < 0) return ReadResult::kClosed;
+    }
     char chunk[65536];
     ssize_t n;
     do {
       n = ::recv(fd_, chunk, sizeof(chunk), 0);
     } while (n < 0 && errno == EINTR);
-    if (n <= 0) return false;  // EOF or error ends the conversation
+    if (n <= 0) return ReadResult::kClosed;  // EOF/error ends the conversation
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

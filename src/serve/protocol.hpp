@@ -13,10 +13,20 @@
 //   {"id":5,"verb":"run","requests":[<RunRequest JSON, api/serde.hpp>,...],
 //    "progress":true}
 //   {"id":6,"verb":"health"}     — load snapshot (jobs, inflight,
-//                                  runs_handled, accepting, cache counters);
-//                                  api::ShardedExecutor probes it for
-//                                  placement
-//   {"id":7,"verb":"shutdown"}
+//                                  runs_handled, runs_cancelled, accepting,
+//                                  cache counters); api::ShardedExecutor
+//                                  probes it for placement
+//   {"id":7,"verb":"cancel","target":5}
+//                                — stop the in-flight "run" batch submitted
+//                                  with id 5 ON THIS CONNECTION. Idempotent
+//                                  and race-free: an unknown or already-
+//                                  finished target answers
+//                                  {"ok":true,"cancelled":false}. Cancelled
+//                                  runs still deliver the batch's final
+//                                  response, unfinished entries marked
+//                                  provenance.cancelled — the same reports
+//                                  an inline Executor stop produces.
+//   {"id":8,"verb":"shutdown"}
 //
 // Server → client, every line tagged with the request's "id":
 //
@@ -62,10 +72,22 @@ class LineReader {
   explicit LineReader(int fd, std::size_t max_line_bytes = kMaxLineBytes)
       : fd_(fd), max_line_bytes_(max_line_bytes) {}
 
+  /// Outcome of a bounded read: a whole line, nothing yet (only with a
+  /// timeout), or a closed/oversized/errored conversation.
+  enum class ReadResult { kLine, kTimeout, kClosed };
+
   /// Reads one line into `out` (terminator stripped). Returns false on
   /// EOF, a read error, or an over-long line — all of which end the
   /// conversation.
-  bool read_line(std::string& out);
+  bool read_line(std::string& out) {
+    return read_line_for(out, -1) == ReadResult::kLine;
+  }
+
+  /// As read_line, but gives up after `timeout_ms` without data so the
+  /// caller can interleave a send (e.g. a cancel verb) on the same
+  /// conversation. `timeout_ms` < 0 blocks indefinitely. Buffered lines
+  /// are returned without touching the socket.
+  ReadResult read_line_for(std::string& out, int timeout_ms);
 
  private:
   int fd_;

@@ -341,11 +341,14 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
         .set("max_inflight",
              static_cast<std::uint64_t>(config_.max_inflight))
         .set("runs_handled", runs_handled())
+        .set("runs_cancelled", runs_cancelled())
         .set("accepting", !shutdown_requested())
         .set("cache", std::move(cache));
     respond(response);
   } else if (verb == "run") {
     handle_run(connection, id, *message);
+  } else if (verb == "cancel") {
+    handle_cancel(connection, id, *message);
   } else if (verb == "shutdown") {
     Json response = make_ok(id);
     response.set("shutting_down", true);
@@ -428,20 +431,68 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
       ++it;
     }
   }
+  // Register the batch's control under its id BEFORE the dispatcher
+  // thread exists: a client may fire the cancel verb immediately after
+  // the run line, and the reader must find the control even if it
+  // processes that cancel before the dispatcher is ever scheduled.
+  auto control = std::make_shared<api::RunControl>();
+  {
+    std::lock_guard<std::mutex> run_lock(connection->run_mutex);
+    connection->active_runs.emplace(id, control);
+  }
   auto done = std::make_shared<std::atomic<bool>>(false);
   std::thread dispatcher([this, connection, id,
                           requests = std::move(requests), stream_progress,
-                          done]() mutable {
-    run_batch(connection, id, std::move(requests), stream_progress);
+                          control, done]() mutable {
+    run_batch(connection, id, std::move(requests), stream_progress,
+              std::move(control));
     done->store(true, std::memory_order_release);
   });
   connection->batches.emplace_back(std::move(done), std::move(dispatcher));
 }
 
+void Server::handle_cancel(const std::shared_ptr<Connection>& connection,
+                           std::uint64_t id, const Json& message) {
+  auto respond = [&](const Json& response) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    send_json(connection->fd, response);
+  };
+  const Json* target_json = message.find("target");
+  std::uint64_t target = 0;
+  if (target_json != nullptr) {
+    try {
+      target = target_json->as_u64();
+    } catch (const util::JsonError&) {
+      target_json = nullptr;
+    }
+  }
+  if (target_json == nullptr) {
+    respond(make_error(id, "cancel: 'target' must be a run id"));
+    return;
+  }
+  // Flip every in-flight batch submitted under the target id ON THIS
+  // connection (ids are per-connection). An unknown or already-finished
+  // target is a benign race, not an error: cancel is idempotent and
+  // answers "cancelled": false so the client can tell a no-op from a hit.
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(connection->run_mutex);
+    auto [begin, end] = connection->active_runs.equal_range(target);
+    for (auto it = begin; it != end; ++it) {
+      it->second->request_stop();
+      cancelled = true;
+    }
+  }
+  Json response = make_ok(id);
+  response.set("cancelled", cancelled);
+  respond(response);
+}
+
 void Server::run_batch(std::shared_ptr<Connection> connection,
                        std::uint64_t id,
                        std::vector<api::RunRequest> requests,
-                       bool stream_progress) {
+                       bool stream_progress,
+                       std::shared_ptr<api::RunControl> control_ptr) {
   const std::size_t batch_size = requests.size();
   std::vector<std::string> labels;
   labels.reserve(batch_size);
@@ -449,7 +500,7 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
     labels.push_back(request.label_or_default());
   }
 
-  api::RunControl control;
+  api::RunControl& control = *control_ptr;
   control.on_progress([&](const api::RunProgress& progress) {
     if (!progress.finished && !stream_progress) return;
     Json event = Json::object();
@@ -480,9 +531,12 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
 
   auto futures = executor_->submit(std::move(requests), &control);
   Json reports = Json::array();
+  std::uint64_t cancelled_runs = 0;
   for (auto& future : futures) {
     try {
-      reports.append(api::report_to_json(future.get()));
+      api::RunReport report = future.get();
+      if (report.provenance.cancelled) ++cancelled_runs;
+      reports.append(api::report_to_json(report));
     } catch (const std::exception& e) {
       Json error = Json::object();
       error.set("error", e.what());
@@ -490,12 +544,27 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
     }
   }
 
+  // The batch has answered (reports collected): retire it from the
+  // cancel registry — a later cancel for this id is the benign no-op.
+  {
+    std::lock_guard<std::mutex> lock(connection->run_mutex);
+    auto [begin, end] = connection->active_runs.equal_range(id);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == control_ptr) {
+        connection->active_runs.erase(it);
+        break;
+      }
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(control_mutex_);
     active_controls_.erase(&control);
   }
 
   runs_handled_.fetch_add(batch_size, std::memory_order_relaxed);
+  if (cancelled_runs > 0) {
+    runs_cancelled_.fetch_add(cancelled_runs, std::memory_order_relaxed);
+  }
   // Release the in-flight slots BEFORE the final response goes out, so a
   // client that reads the response and immediately asks `health` never
   // observes its own finished batch as load.

@@ -16,6 +16,11 @@
 //   * one watcher thread parked on a self-pipe, the async-signal-safe
 //     bridge from SIGINT/SIGTERM to an orderly drain.
 //
+// Cancellation: each in-flight "run" batch registers its RunControl under
+// the request id, so a "cancel" verb read on the same connection can flip
+// it mid-batch — the batch still answers, its unfinished runs marked
+// cancelled, and its in-flight slots are released before the response.
+//
 // Shutdown ladder: request_shutdown()/signal_shutdown() stop the accept
 // loop, reject new "run" verbs, nudge idle readers (SHUT_RD), and let
 // in-flight batches finish and deliver their responses. signal_hard_stop()
@@ -26,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -110,6 +116,12 @@ class Server {
     return runs_handled_.load(std::memory_order_relaxed);
   }
 
+  /// Runs that finished cancelled — via the cancel verb or the hard-stop
+  /// drain rung (for tests and the health verb).
+  std::uint64_t runs_cancelled() const {
+    return runs_cancelled_.load(std::memory_order_relaxed);
+  }
+
   /// Runs queued or running across all connections right now (for tests
   /// and the health verb).
   std::size_t inflight_total() const {
@@ -129,6 +141,16 @@ class Server {
     std::mutex batch_mutex;
     std::vector<std::pair<std::shared_ptr<std::atomic<bool>>, std::thread>>
         batches;
+    /// In-flight "run" batches by request id, so a "cancel" verb on this
+    /// connection can flip the batch's RunControl. Registered by
+    /// handle_run BEFORE the dispatcher thread spawns — a cancel that
+    /// chases its run down the same pipe must find the entry no matter
+    /// how the reader and dispatcher threads interleave. A multimap
+    /// because ids are client-chosen and nothing stops a client reusing
+    /// one; cancel then stops every batch carrying the target id.
+    std::mutex run_mutex;
+    std::multimap<std::uint64_t, std::shared_ptr<api::RunControl>>
+        active_runs;
     std::atomic<bool> done{false};
   };
 
@@ -139,8 +161,11 @@ class Server {
                    const std::string& line);
   void handle_run(const std::shared_ptr<Connection>& connection,
                   std::uint64_t id, const util::Json& message);
+  void handle_cancel(const std::shared_ptr<Connection>& connection,
+                     std::uint64_t id, const util::Json& message);
   void run_batch(std::shared_ptr<Connection> connection, std::uint64_t id,
-                 std::vector<api::RunRequest> requests, bool stream_progress);
+                 std::vector<api::RunRequest> requests, bool stream_progress,
+                 std::shared_ptr<api::RunControl> control);
   /// Stops the listener and nudges idle connection readers; safe to call
   /// repeatedly, from the watcher or teardown.
   void begin_drain();
@@ -168,6 +193,9 @@ class Server {
   std::atomic<bool> hard_stop_{false};
   std::atomic<bool> watcher_exit_{false};
   std::atomic<std::uint64_t> runs_handled_{0};
+  /// Runs whose reports came back provenance.cancelled (the health verb's
+  /// cancellation counter).
+  std::atomic<std::uint64_t> runs_cancelled_{0};
   /// Runs queued or running across ALL connections right now (the `health`
   /// verb's load signal for shard placement).
   std::atomic<std::size_t> inflight_total_{0};

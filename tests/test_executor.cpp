@@ -490,6 +490,65 @@ TEST(ResultCache, DiskTierEvictsLeastRecentlyUsed) {
   EXPECT_TRUE(reader.lookup("key-c").has_value());
 }
 
+TEST(ResultCache, OversizedSingleEntryEvictsWithoutLooping) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "moela-oversize-cache";
+  fs::remove_all(dir);
+
+  RunReport report;
+  report.algorithm = "X";
+  report.final_front = {{1.0, 2.0}, {3.0, 4.0}};
+  report.final_objectives = {{1.0, 2.0}, {3.0, 4.0}};
+  report.evaluations = 10;
+
+  ResultCache cache(dir.string());
+  cache.set_max_disk_bytes(1);  // any real entry busts the cap by itself
+  // Must terminate (the "keep the just-written entry" rule yields to a
+  // cap the entry alone exceeds — no retry/eviction loop) and must count
+  // exactly the one eviction.
+  cache.store("too-big", report);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(
+      fs::exists(dir / (ResultCache::hash_key("too-big") + ".moela")));
+
+  // The memory tier is uncapped: the report is still served in-process.
+  EXPECT_TRUE(cache.lookup("too-big").has_value());
+  // A fresh cache (disk only) correctly misses.
+  ResultCache reader(dir.string());
+  EXPECT_FALSE(reader.lookup("too-big").has_value());
+
+  // Repeated oversized stores keep evicting one file each, never more.
+  cache.store("too-big-2", report);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ResultCache, ZeroCapDisablesEvictionEntirely) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "moela-nocap-cache";
+  fs::remove_all(dir);
+
+  RunReport report;
+  report.algorithm = "X";
+  report.final_front = {{1.0, 2.0}};
+  report.final_objectives = {{1.0, 2.0}};
+  report.evaluations = 10;
+
+  ResultCache cache(dir.string());
+  cache.set_max_disk_bytes(0);  // 0 = no cap, NOT "evict everything"
+  for (int i = 0; i < 5; ++i) {
+    cache.store("key-" + std::to_string(i), report);
+  }
+  EXPECT_EQ(cache.stats().stores, 5u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fs::exists(
+        dir / (ResultCache::hash_key("key-" + std::to_string(i)) +
+               ".moela")))
+        << i;
+  }
+}
+
 // --- Executor: per-run structured logs ------------------------------------
 
 TEST(Executor, RunLogWritesOneJsonlRecordPerRun) {

@@ -10,13 +10,20 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "api/executor.hpp"
 #include "api/problems.hpp"
 #include "api/registry.hpp"
 #include "api/request.hpp"
+#include "api/serde.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -224,6 +231,142 @@ TEST(Serve, StreamsProgressAndFinishedEvents) {
   // snapshot_interval 200 within 600 evals → at least one cadence event
   // per run.
   EXPECT_GT(progress_events.load(), 0u);
+}
+
+// --- cancellation ---------------------------------------------------------
+
+TEST(Serve, CancelMidRunReturnsCancelledReportsAndFreesSlots) {
+  ServeConfig config;
+  config.jobs = 2;
+  ServerFixture fixture(config);
+
+  // Two effectively-endless runs with a tight snapshot cadence: the first
+  // streamed progress event flips the control, the client interleaves the
+  // cancel verb, and the daemon must stop BOTH in-flight runs at their
+  // next budget check — long before their nominal budget. (moela, not
+  // nsga2: the latter's internal generation cap would end the run
+  // naturally and race the cancel on a slow machine.)
+  std::vector<api::RunRequest> requests = {zdt1_request("moela", 1),
+                                           zdt1_request("moela", 2)};
+  for (auto& request : requests) {
+    request.options.max_evaluations = 50000000;
+    request.options.snapshot_interval = 200;
+  }
+  api::RunControl control;
+  std::atomic<std::size_t> post_cancel_progress{0};
+  const std::vector<api::RunReport> reports = fixture.client.run(
+      requests, /*stream_progress=*/true,
+      [&](const Json& event) {
+        if (event.find("event")->as_string() != "progress") return;
+        if (control.stop_requested()) {
+          // The client promised to drop cadence events once the cancel
+          // went out; anything that still reaches us is a bug.
+          ++post_cancel_progress;
+        }
+        control.request_stop();
+      },
+      &control);
+
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.provenance.cancelled);
+    EXPECT_LT(report.evaluations, 50000000u);
+  }
+  EXPECT_EQ(post_cancel_progress.load(), 0u);
+
+  // Slots released, cancellations counted, and the daemon still serving.
+  EXPECT_EQ(fixture.server->inflight_total(), 0u);
+  EXPECT_EQ(fixture.server->runs_cancelled(), 2u);
+  const Json health = fixture.client.health();
+  EXPECT_TRUE(health.find("accepting")->as_bool());
+  EXPECT_EQ(health.find("inflight")->as_u64(), 0u);
+  EXPECT_EQ(health.find("runs_cancelled")->as_u64(), 2u);
+  const api::RunReport after =
+      fixture.client.run({zdt1_request("moela")}).front();
+  EXPECT_FALSE(after.provenance.cancelled);
+  EXPECT_EQ(after.evaluations, 600u);
+}
+
+TEST(Serve, CancelChasingItsRunDownThePipeStillLands) {
+  // The adversarial ordering: the cancel line follows the run line with
+  // no gap at all (raw socket, back-to-back sends). The server registers
+  // the batch's control in handle_run — on the reader thread, before the
+  // dispatcher can even be scheduled — so the chasing cancel MUST find
+  // it; were registration left to the dispatcher, this cancel would be
+  // lost and the batch would burn its full 50M-eval budget.
+  ServerFixture fixture;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(fixture.server->port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  api::RunRequest request = zdt1_request("moela", 1);
+  request.options.max_evaluations = 50000000;
+  Json requests_json = Json::array();
+  requests_json.append(api::request_to_json(request));
+  Json run = Json::object();
+  run.set("id", 1)
+      .set("verb", "run")
+      .set("requests", std::move(requests_json))
+      .set("progress", false);
+  Json cancel = Json::object();
+  cancel.set("id", 2).set("verb", "cancel").set("target", 1);
+  ASSERT_TRUE(send_line(fd, run.dump() + "\n" + cancel.dump()));
+
+  bool saw_cancel_ack = false;
+  std::optional<Json> final_response;
+  LineReader reader(fd);
+  std::string line;
+  while (!final_response.has_value() && reader.read_line(line)) {
+    if (line.empty()) continue;
+    const auto message = Json::try_parse(line, nullptr);
+    ASSERT_TRUE(message.has_value()) << line;
+    const std::uint64_t id = message->find("id")->as_u64();
+    if (id == 2) {
+      EXPECT_TRUE(message->find("ok")->as_bool());
+      EXPECT_TRUE(message->find("cancelled")->as_bool());
+      saw_cancel_ack = true;
+    } else if (id == 1 && message->find("event") == nullptr) {
+      final_response = *message;
+    }
+  }
+  ::close(fd);
+
+  EXPECT_TRUE(saw_cancel_ack);
+  ASSERT_TRUE(final_response.has_value());
+  ASSERT_TRUE(final_response->find("ok")->as_bool());
+  const Json& reports = *final_response->find("reports");
+  ASSERT_EQ(reports.as_array().size(), 1u);
+  const api::RunReport report =
+      api::report_from_json(reports.as_array()[0]);
+  EXPECT_TRUE(report.provenance.cancelled);
+  EXPECT_LT(report.evaluations, 50000000u);
+  EXPECT_EQ(fixture.server->inflight_total(), 0u);
+}
+
+TEST(Serve, CancelAfterCompletionIsANoOp) {
+  ServerFixture fixture;
+  const api::RunReport report =
+      fixture.client.run({zdt1_request("moela")}).front();
+  EXPECT_FALSE(report.provenance.cancelled);
+  const std::uint64_t run_id = fixture.client.last_run_id();
+  EXPECT_GT(run_id, 0u);
+
+  // The batch already answered: cancel finds nothing, reports the no-op,
+  // and is idempotent — for the finished id and for ids never submitted.
+  EXPECT_FALSE(fixture.client.cancel(run_id));
+  EXPECT_FALSE(fixture.client.cancel(run_id));
+  EXPECT_FALSE(fixture.client.cancel(424242));
+  EXPECT_EQ(fixture.server->runs_cancelled(), 0u);
+
+  // The connection survives and the daemon keeps serving.
+  EXPECT_TRUE(fixture.client.ping());
+  EXPECT_EQ(fixture.client.run({zdt1_request("nsga2")}).front().evaluations,
+            600u);
 }
 
 // --- error answers --------------------------------------------------------

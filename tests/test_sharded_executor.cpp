@@ -398,6 +398,97 @@ TEST(ShardedExecutor, PoisonRequestExhaustsItsAttemptCap) {
   }
 }
 
+TEST(ShardedExecutor, StopCancelsInFlightRemoteChunks) {
+  // Four effectively-endless runs across two daemons (jobs=1, chunk=1):
+  // one in flight per daemon, two still pending coordinator-side. The
+  // first streamed progress event requests the stop; the shard threads
+  // must send the cancel verb, the daemons must actually stop their
+  // in-flight work, and the pending requests come back locally cancelled
+  // — no request is ever "abandoned but still burning daemon CPU".
+  auto a = make_server(1);
+  auto b = make_server(1);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}};
+  config.policy = ShardPolicy::kWorkStealing;
+  config.stream_progress = true;
+
+  // moela, not nsga2: nsga2's internal generation cap would end the runs
+  // naturally and race the cancel on a slow machine.
+  std::vector<RunRequest> sweep;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RunRequest request = zdt1_request("moela", seed);
+    request.options.max_evaluations = 50000000;
+    request.options.snapshot_interval = 500;
+    sweep.push_back(std::move(request));
+  }
+
+  RunControl control;
+  control.on_progress([&control](const RunProgress& progress) {
+    if (!progress.finished) control.request_stop();
+  });
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep, &control);
+
+  ASSERT_EQ(merged.size(), sweep.size());
+  std::size_t remote_cancelled = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_TRUE(merged[i].provenance.cancelled) << i;
+    EXPECT_LT(merged[i].evaluations, 50000000u) << i;
+    // A daemon-side cancel yields a PARTIAL report (the run was really
+    // executing); a coordinator-side cancel of never-submitted work
+    // yields the empty cancelled report.
+    if (merged[i].evaluations > 0) ++remote_cancelled;
+  }
+  EXPECT_GE(remote_cancelled, 1u);  // in-flight remote work really stopped
+
+  // Cancellation is not a fault: no shard failed, none was retired, and
+  // both daemons are still accepting with their slots released.
+  for (const ShardStats& shard : sharded.shard_stats()) {
+    EXPECT_EQ(shard.failures, 0u) << shard.endpoint;
+    EXPECT_TRUE(shard.error.empty()) << shard.error;
+  }
+  EXPECT_FALSE(a->shutdown_requested());
+  EXPECT_FALSE(b->shutdown_requested());
+  EXPECT_EQ(a->inflight_total(), 0u);
+  EXPECT_EQ(b->inflight_total(), 0u);
+  EXPECT_GE(a->runs_cancelled() + b->runs_cancelled(), remote_cancelled);
+}
+
+TEST(ShardedExecutor, StopKeepsCompletedReportsBitIdentical) {
+  // A short and an endless run in ONE wire chunk on a two-worker daemon.
+  // The short run's `finished` event triggers the stop: the endless run
+  // must come back cancelled, while the already-completed run's report
+  // stays bit-identical to an inline execution.
+  const RunRequest short_request = zdt1_request("nsga2", 1);
+  RunRequest long_request = zdt1_request("moela", 2);
+  long_request.options.max_evaluations = 50000000;
+  long_request.options.snapshot_interval = 500;
+  const RunReport reference = inline_reports({short_request}).front();
+
+  auto server = make_server(2);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", server->port()}};
+  config.steal_chunk = 2;  // both runs ride one chunk, in flight together
+  ShardedExecutor sharded(config);
+
+  RunControl control;
+  control.on_progress([&control](const RunProgress& progress) {
+    if (progress.finished) control.request_stop();
+  });
+  const std::vector<RunReport> merged =
+      sharded.run_all({short_request, long_request}, &control);
+
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_FALSE(merged[0].provenance.cancelled);
+  expect_equal_modulo_cache(reference, merged[0]);
+  EXPECT_TRUE(merged[1].provenance.cancelled);
+  EXPECT_LT(merged[1].evaluations, 50000000u);
+  EXPECT_EQ(sharded.shard_stats()[0].failures, 0u);
+  EXPECT_FALSE(server->shutdown_requested());
+  EXPECT_EQ(server->inflight_total(), 0u);
+  EXPECT_EQ(server->runs_cancelled(), 1u);
+}
+
 TEST(ShardedExecutor, StopBeforeRunYieldsCancelledReports) {
   auto server = make_server();
   ShardedExecutorConfig config;

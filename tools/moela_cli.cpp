@@ -10,7 +10,10 @@
 // --algo/--app sweeps the grid, and a disk-backed result cache (on by
 // default; see --no-cache / --cache-dir / $MOELA_CACHE_DIR) makes repeated
 // identical invocations near-free. Ctrl-C requests a graceful stop:
-// in-flight runs wind down at their next budget check and still report.
+// in-flight runs wind down at their next budget check and still report —
+// and with --connect the stop reaches the daemon(s) as the protocol's
+// cancel verb, so remote work halts too instead of burning CPU to
+// completion.
 //
 // With --connect host:port the same sweep flags submit to a remote
 // moela_serve daemon instead of running in-process: requests travel as
@@ -48,6 +51,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "api/executor.hpp"
 #include "api/optimizer.hpp"
@@ -152,7 +157,9 @@ void print_usage(std::FILE* to) {
                "  --help             this text\n"
                "\n"
                "Ctrl-C stops the batch gracefully: in-flight runs return "
-               "their partial\nfronts (marked cancelled=1).\n");
+               "their partial\nfronts (marked cancelled=1). With --connect "
+               "the stop crosses the wire\n(protocol cancel verb): "
+               "daemon-side work halts, the daemons keep serving.\n");
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -438,12 +445,22 @@ std::vector<api::RunRequest> build_requests(const CliOptions& cli) {
 }
 
 // Ctrl-C: ask the batch to stop; a second Ctrl-C falls back to the default
-// (hard kill). Signal handlers may only touch lock-free atomics, so the
-// pointer itself is atomic and request_stop is a single atomic store.
+// (hard kill). Signal handlers may only touch lock-free atomics and call
+// async-signal-safe functions, so the pointer itself is atomic,
+// request_stop is a single atomic store, and the notice goes out via a
+// raw write(2). With --connect the stop crosses the wire: the in-flight
+// batch's cancel verb is sent to every daemon holding work.
 std::atomic<api::RunControl*> g_control{nullptr};
 
 void handle_sigint(int) {
-  if (auto* control = g_control.load()) control->request_stop();
+  if (auto* control = g_control.load()) {
+    control->request_stop();
+    constexpr char kNotice[] =
+        "\nmoela_cli: stop requested — cancelling in-flight runs (Ctrl-C "
+        "again to kill)\n";
+    [[maybe_unused]] ssize_t ignored =
+        write(STDERR_FILENO, kNotice, sizeof(kNotice) - 1);
+  }
   std::signal(SIGINT, SIG_DFL);
 }
 
@@ -460,8 +477,12 @@ struct ControlGuard {
 void install_progress_printer(api::RunControl& control,
                               const std::vector<api::RunRequest>& requests,
                               bool stream_progress) {
-  control.on_progress([&requests,
+  control.on_progress([&control, &requests,
                        stream_progress](const api::RunProgress& p) {
+    // After Ctrl-C the console said "cancelling"; cadence events still in
+    // flight must not show progress climbing past that. Final `finished`
+    // lines still print — they are the completion tally.
+    if (!p.finished && control.stop_requested()) return;
     if (p.finished) {
       std::fprintf(stderr,
                    "moela_cli: [%zu/%zu] %s done (%zu evals, %.2f s%s)\n",
@@ -499,6 +520,12 @@ int write_outputs(const CliOptions& cli,
                "hit(s)%s)\n",
                wall_seconds, reports.size(), cache_hits,
                cancelled_note.c_str());
+  if (cancelled > 0) {
+    std::fprintf(stderr,
+                 "moela_cli: cancelled %zu run(s), %zu completed (partial "
+                 "fronts marked cancelled=1)\n",
+                 cancelled, reports.size() - cancelled);
+  }
 
   std::ofstream out_file;
   if (!cli.out_path.empty()) {
@@ -587,6 +614,15 @@ int run_remote(const CliOptions& cli) {
                  cli.run_options.max_evaluations,
                  cli.run_options.max_seconds);
 
+    // Ctrl-C mid-sweep must not abandon remote work silently: the control
+    // rides into the Client, whose read loop sends the cancel verb for
+    // this batch — the daemon stops our runs, keeps serving everyone
+    // else, and the final response tells us what finished vs. what was
+    // cancelled.
+    api::RunControl control;
+    const ControlGuard guard(control);
+    std::signal(SIGINT, handle_sigint);
+
     // Missing/mistyped fields from a version-skewed daemon must degrade
     // the display, never crash the batch — hence the defaulted readers
     // (util::*_field_or).
@@ -624,7 +660,8 @@ int run_remote(const CliOptions& cli) {
                     util::u64_field_or(event, "max_evaluations", 0)),
                 util::double_field_or(event, "seconds", 0.0));
           }
-        });
+        },
+        &control);
     const double wall_seconds = wall.elapsed_seconds();
     const int exit_code = write_outputs(cli, requests, reports, wall_seconds);
     if (cli.remote_shutdown) {

@@ -16,7 +16,9 @@
 // Signals: the first SIGINT/SIGTERM drains gracefully (stop accepting,
 // finish in-flight runs, answer, exit 0); a second cancels in-flight runs
 // at their next budget check (they still answer, marked cancelled); a
-// third falls back to the default disposition (hard kill).
+// third falls back to the default disposition (hard kill). Clients cancel
+// their own in-flight batches with the protocol's cancel verb — a
+// client-side Ctrl-C never needs to touch the daemon's ladder.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -68,8 +70,8 @@ void print_usage(std::FILE* to) {
                "  --help             this text\n"
                "\n"
                "Protocol: line-delimited JSON over TCP; verbs: ping, run,\n"
-               "list_algorithms, list_problems, cache_stats, shutdown. See "
-               "README.md.\n",
+               "cancel, list_algorithms, list_problems, cache_stats, "
+               "health,\nshutdown. See docs/protocol.md.\n",
                serve::kDefaultPort);
 }
 
