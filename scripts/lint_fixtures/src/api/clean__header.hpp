@@ -1,0 +1,8 @@
+// Fixture: a clean header — comments may mention rand() and time() and
+// strtod freely; string literals like "rand(" below are not code either.
+#pragma once
+#include <string>
+namespace moela::fixture {
+inline std::string describe() { return "rand( time( %g strtod"; }
+inline double scaled(double v) { return v * 2.0; }
+}  // namespace moela::fixture

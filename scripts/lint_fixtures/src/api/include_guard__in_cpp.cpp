@@ -1,0 +1,3 @@
+// Fixture: seeded violation — #pragma once is meaningless in a .cpp file.
+#pragma once
+int forty_two() { return 42; }

@@ -1,0 +1,3 @@
+// Fixture: seeded violation — code precedes #pragma once.
+inline int forty_two() { return 42; }
+#pragma once

@@ -1,0 +1,5 @@
+// Fixture: seeded violation — legacy #ifndef guard instead of pragma once.
+#ifndef MOELA_FIXTURE_LEGACY_H
+#define MOELA_FIXTURE_LEGACY_H
+inline int forty_two() { return 42; }
+#endif

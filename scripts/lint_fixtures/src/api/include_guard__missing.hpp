@@ -1,0 +1,2 @@
+// Fixture: seeded violation — header without #pragma once.
+inline int forty_two() { return 42; }

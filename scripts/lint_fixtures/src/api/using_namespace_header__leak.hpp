@@ -1,0 +1,4 @@
+// Fixture: seeded violation — using namespace in a header.
+#pragma once
+#include <vector>
+using namespace std;

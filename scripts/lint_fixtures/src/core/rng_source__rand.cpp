@@ -1,0 +1,2 @@
+// Fixture: seeded violation — raw rand() outside src/util/rng.*.
+int noisy() { return rand(); }

@@ -1,0 +1,3 @@
+// Fixture: seeded violation — std::random_device is nondeterministic.
+#include <random>
+unsigned seed_from_hardware() { return std::random_device{}(); }

@@ -1,0 +1,5 @@
+// Fixture: seeded violation — wall-clock seeding breaks reproducibility.
+// A mention of time() in a comment must NOT trip the rule; the call below
+// must. Nor should method calls like timer.time() or exp_time() trip it.
+#include <ctime>
+long wall_seed() { return std::time(nullptr); }

@@ -1,0 +1,6 @@
+// Fixture: a clean wire file — util/numeric-style formatting only, integer
+// printf conversions allowed.
+#include <cstdio>
+void render(char* out, unsigned long long n) {
+  std::snprintf(out, 64, "%016llx", n);
+}

@@ -1,0 +1,7 @@
+// Fixture: seeded violation — %g float conversion in a wire-file format
+// string. Integer conversions ("%d", "%04x") are fine and appear below.
+#include <cstdio>
+void render(char* out, unsigned n, double v) {
+  std::snprintf(out, 64, "%04x", n);
+  std::snprintf(out, 64, "%.17g", v);
+}

@@ -1,0 +1,4 @@
+// Fixture: seeded violation — setprecision marks decimal double formatting.
+#include <iomanip>
+#include <sstream>
+void render(std::ostream& os, double v) { os << std::setprecision(17) << v; }

@@ -1,0 +1,3 @@
+// Fixture: seeded violation — strtod honors LC_NUMERIC.
+#include <cstdlib>
+double parse(const char* s) { return std::strtod(s, nullptr); }

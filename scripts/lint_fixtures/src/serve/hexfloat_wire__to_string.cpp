@@ -1,0 +1,3 @@
+// Fixture: seeded violation — std::to_string in a wire file.
+#include <string>
+std::string render(double v) { return std::to_string(v); }

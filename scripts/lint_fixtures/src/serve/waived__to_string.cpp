@@ -1,0 +1,6 @@
+// Fixture: a properly annotated waiver must suppress the finding.
+#include <string>
+std::string label(int i) {
+  // moela-lint: allow(hexfloat-wire) integer label, no double involved
+  return std::to_string(i);
+}

@@ -1,6 +1,6 @@
 #include "api/optimizer.hpp"
 
-#include <cstdlib>
+#include "util/numeric.hpp"
 
 namespace moela::api {
 
@@ -10,9 +10,8 @@ bool KnobBag::parse_assignment(const std::string& assignment) {
   const std::string name = assignment.substr(0, eq);
   const std::string value = assignment.substr(eq + 1);
   if (value.empty()) return false;
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (end == nullptr || *end != '\0') return false;
+  double parsed = 0.0;
+  if (!util::parse_double(value, parsed)) return false;
   set(name, parsed);
   return true;
 }

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "api/any_problem.hpp"
 #include "api/optimizer.hpp"
 #include "api/problems.hpp"
+#include "util/numeric.hpp"
 
 namespace moela::api {
 
@@ -61,7 +61,7 @@ struct RunRequest {
   std::string label_or_default() const {
     if (!label.empty()) return label;
     return (problem.empty() ? std::string("<custom>") : problem) + ":" +
-           algorithm + ":" + std::to_string(options.seed);
+           algorithm + ":" + util::dec(options.seed);
   }
 };
 
@@ -73,30 +73,29 @@ std::vector<RunRequest> expand_replicates(const RunRequest& base,
                                           std::size_t replicates);
 
 namespace detail {
-/// Exact, locale-independent rendering of a double ("%a" hexfloat).
+/// Exact, locale-independent rendering of a double (hexfloat). Kept as an
+/// alias so cache-key call sites read as "the exact rendering".
 inline std::string exact_double(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%a", value);
-  return buffer;
+  return util::hexfloat(value);
 }
 }  // namespace detail
 
 inline std::string RunRequest::cache_key() const {
   if (problem.empty()) return {};
-  std::string key = "moela-run-v" + std::to_string(kCacheSchemaVersion);
+  std::string key = "moela-run-v" + util::dec(kCacheSchemaVersion);
   key += "|problem=" + problem;
-  key += "|objectives=" + std::to_string(problem_options.num_objectives);
-  key += "|variables=" + std::to_string(problem_options.num_variables);
-  key += "|instance_seed=" + std::to_string(problem_options.seed);
+  key += "|objectives=" + util::dec(problem_options.num_objectives);
+  key += "|variables=" + util::dec(problem_options.num_variables);
+  key += "|instance_seed=" + util::dec(problem_options.seed);
   key += "|app=" + problem_options.app;
   key += std::string("|small=") + (problem_options.small_platform ? "1" : "0");
   key += "|algorithm=" + algorithm;
-  key += "|evals=" + std::to_string(options.max_evaluations);
+  key += "|evals=" + util::dec(options.max_evaluations);
   key += "|seconds=" + detail::exact_double(options.max_seconds);
-  key += "|snapshot=" + std::to_string(options.snapshot_interval);
-  key += "|seed=" + std::to_string(options.seed);
-  key += "|pop=" + std::to_string(options.population_size);
-  key += "|n_local=" + std::to_string(options.n_local);
+  key += "|snapshot=" + util::dec(options.snapshot_interval);
+  key += "|seed=" + util::dec(options.seed);
+  key += "|pop=" + util::dec(options.population_size);
+  key += "|n_local=" + util::dec(options.n_local);
   key += "|knobs=";
   bool first = true;
   // std::map iterates in sorted key order, so knob insertion order cannot

@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "api/request.hpp"
+#include "util/numeric.hpp"
 #include "noc/design.hpp"
 #include "noc/io.hpp"
 
@@ -28,12 +29,9 @@ namespace fs = std::filesystem;
 // builder so keys and serialized reports can never disagree on a value.
 using detail::exact_double;
 
-/// Parses a hexfloat (or any strtod-accepted) token. Returns false on junk.
+/// Parses a hexfloat (or decimal) token, locale-independently.
 bool parse_double(const std::string& token, double& out) {
-  if (token.empty()) return false;
-  char* end = nullptr;
-  out = std::strtod(token.c_str(), &end);
-  return end != nullptr && *end == '\0';
+  return util::parse_double(token, out);
 }
 
 void write_rows(std::ostream& os,
@@ -69,9 +67,10 @@ bool read_tagged(std::istream& is, const char* tag, std::string& value) {
 bool read_tagged_size(std::istream& is, const char* tag, std::size_t& value) {
   std::string token;
   if (!read_tagged(is, tag, token)) return false;
-  char* end = nullptr;
-  value = std::strtoull(token.c_str(), &end, 10);
-  return end != nullptr && *end == '\0';
+  std::uint64_t parsed = 0;
+  if (!util::parse_u64(token, parsed)) return false;
+  value = static_cast<std::size_t>(parsed);
+  return true;
 }
 
 // ---------------------------------------------------------------- designs
@@ -232,7 +231,7 @@ std::optional<RunReport> read_report(std::istream& is,
   if (!read_tagged(is, "algorithm_key", token)) return std::nullopt;
   p.algorithm_key = token == "-" ? "" : token;
   if (!read_tagged(is, "seed", token)) return std::nullopt;
-  p.seed = std::strtoull(token.c_str(), nullptr, 10);
+  if (!util::parse_u64(token, p.seed)) p.seed = 0;
   if (!read_tagged_size(is, "evaluations", report.evaluations)) {
     return std::nullopt;
   }
@@ -300,10 +299,9 @@ std::string ResultCache::default_disk_dir() {
 std::uintmax_t ResultCache::default_max_disk_bytes() {
   if (const char* env = std::getenv("MOELA_CACHE_MAX_BYTES");
       env != nullptr && *env != '\0') {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
     // "0" is a valid setting: it disables the cap entirely.
-    if (end != nullptr && *end == '\0' && end != env) return parsed;
+    std::uint64_t parsed = 0;
+    if (util::parse_u64(env, parsed)) return parsed;
   }
   return 1ull << 30;  // 1 GiB
 }

@@ -14,6 +14,7 @@
 #include "api/sharded_executor.hpp"
 #include "moo/metrics.hpp"
 #include "util/log.hpp"
+#include "util/numeric.hpp"
 
 namespace moela::exp {
 
@@ -22,7 +23,9 @@ namespace {
 std::size_t env_size_t(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  std::uint64_t parsed = 0;
+  if (!util::parse_u64(v, parsed)) return fallback;
+  return static_cast<std::size_t>(parsed);
 }
 
 bool env_flag(const char* name) {
@@ -67,7 +70,8 @@ PaperBenchConfig paper_bench_config_from_env() {
   config.small_platform = env_flag("MOELA_BENCH_SMALL");
   const char* secs = std::getenv("MOELA_BENCH_SECONDS");
   if (secs != nullptr && *secs != '\0') {
-    config.max_seconds = std::strtod(secs, nullptr);
+    double parsed = 0.0;
+    if (util::parse_double(secs, parsed)) config.max_seconds = parsed;
   }
   config.snapshot_interval = 200;
   config.jobs = env_size_t("MOELA_BENCH_JOBS", 1);

@@ -311,15 +311,9 @@ NocDesign DesignOps::crossover(const NocDesign& a, const NocDesign& b,
     }
   }
 
-  // --- Links: prefer common links, then either parent's, then global pool.
+  // --- Links: draw from the parents' union, then the global pool.
   const auto sa = split_links(spec, a.links);
   const auto sb = split_links(spec, b.links);
-  auto common = [](const std::vector<Link>& x, const std::vector<Link>& y) {
-    std::vector<Link> out;
-    std::set_intersection(x.begin(), x.end(), y.begin(), y.end(),
-                          std::back_inserter(out));
-    return out;
-  };
   auto merged = [](const std::vector<Link>& x, const std::vector<Link>& y) {
     std::vector<Link> out;
     std::set_union(x.begin(), x.end(), y.begin(), y.end(),

@@ -2,6 +2,7 @@
 
 #include <iomanip>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -34,6 +35,9 @@ std::istringstream expect_line(std::istream& is, const std::string& context) {
 }  // namespace
 
 void write_design(std::ostream& os, const NocDesign& design) {
+  // Pin the classic locale: a std::locale::global change must not insert
+  // digit grouping or swap the radix character in serialized designs.
+  os.imbue(std::locale::classic());
   os << "noc-design v1\n";
   os << "placement";
   for (CoreId c : design.placement) os << ' ' << c;
@@ -43,6 +47,7 @@ void write_design(std::ostream& os, const NocDesign& design) {
 }
 
 NocDesign read_design(std::istream& is) {
+  is.imbue(std::locale::classic());
   {
     auto header = expect_line(is, "design header");
     std::string magic, version;
@@ -94,6 +99,7 @@ NocDesign design_from_string(const std::string& text) {
 }
 
 void write_workload(std::ostream& os, const Workload& workload) {
+  os.imbue(std::locale::classic());
   // Round-trip exact doubles.
   os << std::setprecision(17);
   os << "noc-workload v1 " << workload.name << '\n';
@@ -118,6 +124,7 @@ void write_workload(std::ostream& os, const Workload& workload) {
 }
 
 Workload read_workload(std::istream& is) {
+  is.imbue(std::locale::classic());
   Workload w;
   {
     auto header = expect_line(is, "workload header");

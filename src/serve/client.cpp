@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "api/serde.hpp"
+#include "util/numeric.hpp"
 
 namespace moela::serve {
 namespace {
@@ -28,12 +29,12 @@ std::string Client::where() const {
 
 void Client::connect(const std::string& host, int port) {
   disconnect();
-  endpoint_ = host + ":" + std::to_string(port);
+  endpoint_ = host + ":" + util::dec(port);
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* resolved = nullptr;
-  const std::string port_text = std::to_string(port);
+  const std::string port_text = util::dec(port);
   if (::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &resolved) !=
           0 ||
       resolved == nullptr) {
@@ -166,7 +167,7 @@ std::vector<api::RunReport> Client::run(
     if (const Json* error = entry.find("error")) {
       const std::string label =
           i < requests.size() ? requests[i].label_or_default()
-                              : std::to_string(i);
+                              : util::dec(i);
       throw RemoteError(where() + ": run '" + label +
                         "' failed: " + error->as_string());
     }

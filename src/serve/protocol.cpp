@@ -1,12 +1,13 @@
 #include "serve/protocol.hpp"
 
 #include <cerrno>
-#include <cstdlib>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include "util/numeric.hpp"
 
 namespace moela::serve {
 
@@ -84,9 +85,8 @@ bool parse_host_port(const std::string& spec, std::string& host, int& port) {
   }
   if (!host_part.empty()) host = host_part;
   if (!port_part.empty()) {
-    char* end = nullptr;
-    const long parsed = std::strtol(port_part.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 65535) {
+    std::uint64_t parsed = 0;
+    if (!util::parse_u64(port_part, parsed) || parsed > 65535) {
       return false;
     }
     port = static_cast<int>(parsed);

@@ -16,6 +16,7 @@
 #include "api/registry.hpp"
 #include "api/serde.hpp"
 #include "util/log.hpp"
+#include "util/numeric.hpp"
 
 namespace moela::serve {
 namespace {
@@ -91,7 +92,7 @@ void Server::start() {
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* resolved = nullptr;
-  const std::string port_text = std::to_string(config_.port);
+  const std::string port_text = util::dec(config_.port);
   if (::getaddrinfo(config_.host.c_str(), port_text.c_str(), &hints,
                     &resolved) != 0 ||
       resolved == nullptr) {
@@ -407,9 +408,9 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
   for (;;) {
     if (inflight + batch_size > config_.max_inflight) {
       respond_error("run: in-flight limit exceeded (" +
-                    std::to_string(inflight) + " queued + " +
-                    std::to_string(batch_size) + " requested > " +
-                    std::to_string(config_.max_inflight) + ")");
+                    util::dec(inflight) + " queued + " +
+                    util::dec(batch_size) + " requested > " +
+                    util::dec(config_.max_inflight) + ")");
       return;
     }
     if (connection->inflight.compare_exchange_weak(

@@ -1,10 +1,10 @@
 #include "util/json.hpp"
 
 #include <cctype>
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+
+#include "util/numeric.hpp"
 
 namespace moela::util {
 namespace {
@@ -46,19 +46,14 @@ void append_double(std::string& out, double d) {
     return;
   }
   // Integral doubles print as integers (cleaner, still exact); everything
-  // else gets 17 significant digits, enough to round-trip any double. The
-  // magnitude check must come first: casting |d| >= 2^63 to long long is
-  // undefined behavior.
+  // else gets the shortest round-trip rendering. Both via to_chars, so the
+  // process locale can never change the bytes. The magnitude check must
+  // come first: casting |d| >= 2^63 to long long is undefined behavior.
   if (std::fabs(d) < 1e15 &&
       d == static_cast<double>(static_cast<long long>(d))) {
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%lld",
-                  static_cast<long long>(d));
-    out += buffer;
+    out += dec(static_cast<long long>(d));
   } else {
-    char buffer[40];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", d);
-    out += buffer;
+    out += shortest_double(d);
   }
 }
 
@@ -94,10 +89,7 @@ void dump_value(std::string& out, const Json& v) {
     case Json::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
     case Json::Kind::kNumber:
       if (v.holds_u64()) {
-        char buffer[32];
-        std::snprintf(buffer, sizeof(buffer), "%llu",
-                      static_cast<unsigned long long>(v.as_u64()));
-        out += buffer;
+        out += dec(v.as_u64());
       } else {
         append_double(out, v.as_double());
       }
@@ -125,8 +117,7 @@ class Parser {
   static constexpr int kMaxDepth = 100;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw JsonError("Json parse error at byte " + std::to_string(pos_) +
-                    ": " + what);
+    throw JsonError("Json parse error at byte " + dec(pos_) + ": " + what);
   }
 
   void skip_ws() {
@@ -266,18 +257,13 @@ class Parser {
     if (pos_ == start) fail("expected a value");
     const std::string token(text_.substr(start, pos_ - start));
     // A plain non-negative integer keeps u64 storage (exact seeds/budgets);
-    // everything else goes through strtod.
+    // everything else parses as a double, locale-independently.
     if (token.find_first_not_of("0123456789") == std::string::npos) {
-      errno = 0;
-      char* end = nullptr;
-      const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
-      if (errno == 0 && end != nullptr && *end == '\0') {
-        return Json(static_cast<std::uint64_t>(u));
-      }
+      std::uint64_t u = 0;
+      if (parse_u64(token, u)) return Json(u);
     }
-    char* end = nullptr;
-    const double d = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') fail("bad number '" + token + "'");
+    double d = 0.0;
+    if (!parse_double(token, d)) fail("bad number '" + token + "'");
     return Json(d);
   }
 
@@ -423,19 +409,14 @@ std::string string_field_or(const Json& object, const std::string& key,
                                                 : std::move(fallback);
 }
 
-Json exact_number(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%a", value);
-  return Json(std::string(buffer));
-}
+Json exact_number(double value) { return Json(hexfloat(value)); }
 
 double exact_to_double(const Json& value) {
   if (value.is_number()) return value.as_double();
   if (value.is_string()) {
     const std::string& s = value.as_string();
-    char* end = nullptr;
-    const double d = std::strtod(s.c_str(), &end);
-    if (!s.empty() && end != nullptr && *end == '\0') return d;
+    double d = 0.0;
+    if (parse_double(s, d)) return d;
     throw JsonError("Json: string '" + s + "' is not a number");
   }
   throw JsonError("Json: expected a number or numeric string");

@@ -129,8 +129,9 @@ double double_field_or(const Json& object, const std::string& key,
 std::string string_field_or(const Json& object, const std::string& key,
                             std::string fallback = {});
 
-/// Bit-exact double carrier: a hexfloat string value ("%a" rendering, the
-/// same one used by the result cache's disk tier and cache keys).
+/// Bit-exact double carrier: a hexfloat string value (util::hexfloat
+/// rendering, the same one used by the result cache's disk tier and cache
+/// keys).
 Json exact_number(double value);
 /// Reads a double back from exact_number() output — or from a plain JSON
 /// number, so hand-written requests can use ordinary literals.

@@ -1,9 +1,10 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/numeric.hpp"
 
 namespace moela::util {
 
@@ -91,9 +92,8 @@ std::string Table::to_csv() const {
 void Table::print() const { std::fputs(to_string().c_str(), stdout); }
 
 std::string fmt(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  // to_chars fixed: same digits as printf "%.*f", immune to LC_NUMERIC.
+  return fixed_double(v, precision);
 }
 
 std::string fmt_factor(double v, int precision) {

@@ -183,7 +183,9 @@ TEST(Moos, RunsAndProducesNonDominatedArchive) {
   const auto points = archive.objective_set();
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (std::size_t j = 0; j < points.size(); ++j) {
-      if (i != j) EXPECT_FALSE(moo::dominates(points[i], points[j]));
+      if (i != j) {
+        EXPECT_FALSE(moo::dominates(points[i], points[j]));
+      }
     }
   }
   EXPECT_GT(fixed_phv(ctx.archive().objective_set()),

@@ -94,7 +94,9 @@ TEST(Integration, ArchiveIsNonDominatedAndConsistent) {
   ASSERT_FALSE(points.empty());
   for (std::size_t i = 0; i < points.size(); ++i) {
     for (std::size_t j = 0; j < points.size(); ++j) {
-      if (i != j) EXPECT_FALSE(moo::dominates(points[i], points[j]));
+      if (i != j) {
+        EXPECT_FALSE(moo::dominates(points[i], points[j]));
+      }
     }
   }
 }

@@ -1,0 +1,136 @@
+// Locale-independence regression tests: the serving stack's bit-identical
+// guarantee must survive a hostile process locale. A daemon started under
+// de_DE (radix character ',', digit grouping '.') must produce the exact
+// same cache keys, hexfloat strings, JSON bytes, and parses as one started
+// under C — otherwise a fleet with mixed locales silently misses its own
+// cache and rejects its own wire frames. Skips when the locale is not
+// installed (minimal CI images).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <locale>
+#include <string>
+
+#include "api/request.hpp"
+#include "api/serde.hpp"
+#include "util/json.hpp"
+#include "util/numeric.hpp"
+
+namespace moela {
+namespace {
+
+// Doubles with awkward renderings: fractional (radix character exposure),
+// huge (digit grouping exposure), subnormal, negative zero.
+const double kProbes[] = {0.1,     1.0 / 3.0, 1.5,    -2.75e9,
+                          1234567.891, 5e-324, -0.0,   1e308};
+
+/// Applies de_DE to BOTH locale systems for the test's scope: the C locale
+/// (printf/strtod honor it) and, where the system provides it, the global
+/// C++ locale (iostreams imbue it at construction). Restores on scope exit
+/// so the surrounding test binary stays in "C".
+class ScopedGermanLocale {
+ public:
+  ScopedGermanLocale() {
+    c_applied_ = std::setlocale(LC_ALL, "de_DE.UTF-8") != nullptr ||
+                 std::setlocale(LC_ALL, "de_DE.utf8") != nullptr;
+    if (!c_applied_) return;
+    try {
+      previous_cxx_ = std::locale::global(std::locale("de_DE.UTF-8"));
+      cxx_applied_ = true;
+    } catch (const std::runtime_error&) {
+      // C++ locale not installed; the C-locale half still tests
+      // printf/strtod paths.
+    }
+  }
+  ~ScopedGermanLocale() {
+    if (cxx_applied_) std::locale::global(previous_cxx_);
+    std::setlocale(LC_ALL, "C");
+  }
+  bool applied() const { return c_applied_; }
+
+ private:
+  bool c_applied_ = false;
+  bool cxx_applied_ = false;
+  std::locale previous_cxx_;
+};
+
+#define SKIP_WITHOUT_GERMAN_LOCALE(guard)                             \
+  if (!(guard).applied()) {                                           \
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed on this host";  \
+  }
+
+api::RunRequest sample_request() {
+  api::RunRequest request;
+  request.problem = "zdt1";
+  request.algorithm = "moela";
+  request.options.max_evaluations = 2000;
+  request.options.max_seconds = 1.0 / 3.0;
+  request.options.seed = 41;
+  request.options.knobs.set("moela.delta", 0.9).set("probe", 1234567.891);
+  return request;
+}
+
+TEST(Locale, HexfloatFormattingIsLocaleProof) {
+  std::string c_hex[std::size(kProbes)];
+  std::string c_shortest[std::size(kProbes)];
+  for (std::size_t i = 0; i < std::size(kProbes); ++i) {
+    c_hex[i] = util::hexfloat(kProbes[i]);
+    c_shortest[i] = util::shortest_double(kProbes[i]);
+  }
+  ScopedGermanLocale german;
+  SKIP_WITHOUT_GERMAN_LOCALE(german);
+  for (std::size_t i = 0; i < std::size(kProbes); ++i) {
+    EXPECT_EQ(util::hexfloat(kProbes[i]), c_hex[i]);
+    EXPECT_EQ(util::shortest_double(kProbes[i]), c_shortest[i]);
+    double parsed = 0.0;
+    ASSERT_TRUE(util::parse_double(c_hex[i], parsed)) << c_hex[i];
+    EXPECT_EQ(parsed, kProbes[i]);
+  }
+  EXPECT_EQ(util::fixed_double(1234567.891, 3), "1234567.891");
+  EXPECT_EQ(util::dec(1234567), "1234567");  // no grouping separators
+}
+
+TEST(Locale, CacheKeyIsLocaleProof) {
+  const api::RunRequest request = sample_request();
+  const std::string reference_key = request.cache_key();
+  ASSERT_NE(reference_key.find("seconds=0x"), std::string::npos)
+      << "cache key no longer carries hexfloat seconds: " << reference_key;
+  ScopedGermanLocale german;
+  SKIP_WITHOUT_GERMAN_LOCALE(german);
+  EXPECT_EQ(request.cache_key(), reference_key);
+}
+
+TEST(Locale, SerdeRoundTripIsLocaleProof) {
+  const api::RunRequest request = sample_request();
+  const std::string reference_wire = api::request_to_json(request).dump();
+  ScopedGermanLocale german;
+  SKIP_WITHOUT_GERMAN_LOCALE(german);
+  // Same bytes out...
+  EXPECT_EQ(api::request_to_json(request).dump(), reference_wire);
+  // ...and the German-locale process parses the C-locale frame exactly.
+  const api::RunRequest decoded =
+      api::request_from_json(util::Json::parse(reference_wire));
+  EXPECT_EQ(decoded.options.max_seconds, request.options.max_seconds);
+  EXPECT_EQ(decoded.options.knobs.values(), request.options.knobs.values());
+  EXPECT_EQ(decoded.cache_key(), request.cache_key());
+}
+
+TEST(Locale, JsonNumbersAreLocaleProof) {
+  ScopedGermanLocale german;
+  SKIP_WITHOUT_GERMAN_LOCALE(german);
+  for (double probe : kProbes) {
+    const std::string wire = util::exact_number(probe).dump();
+    EXPECT_EQ(wire.find(','), std::string::npos) << wire;
+    const double back =
+        util::exact_to_double(util::Json::parse(wire));
+    EXPECT_EQ(back, probe) << wire;
+  }
+  // Plain (non-exact) numbers too: dump must use '.', parse must accept it.
+  const std::string dumped = util::Json(0.1).dump();
+  EXPECT_EQ(dumped, "0.1");
+  EXPECT_EQ(util::Json::parse("1.5").as_double(), 1.5);
+  EXPECT_EQ(util::Json::parse("1e-3").as_double(), 1e-3);
+}
+
+}  // namespace
+}  // namespace moela

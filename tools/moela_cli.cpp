@@ -24,14 +24,14 @@
 // reports are still bit-identical to an inline run.
 //
 //   moela_cli --problem zdt1 --algorithm moela --evals 2000 --seed 1
-//   moela_cli --problem zdt1 --algo moela --algo nsga2 --replicates 3 \
+//   moela_cli --problem zdt1 --algo moela --algo nsga2 --replicates 3
 //             --jobs 4 --evals 2000
-//   moela_cli --problem noc --app BFS --app SRAD --objectives 5 \
+//   moela_cli --problem noc --app BFS --app SRAD --objectives 5
 //             --algo moela --algo moos --seconds 5 --jobs 2
-//   moela_cli --connect localhost:7313 --problem zdt1 --algo moela \
+//   moela_cli --connect localhost:7313 --problem zdt1 --algo moela
 //             --replicates 3 --evals 2000
-//   moela_cli --connect host1:7313 --connect host2:7313 \
-//             --shard-policy work-steal --problem zdt1 --algo moela \
+//   moela_cli --connect host1:7313 --connect host2:7313
+//             --shard-policy work-steal --problem zdt1 --algo moela
 //             --replicates 8 --evals 2000      # sharded sweep
 //   moela_cli --connect :7313 --shutdown     # drain the daemon(s)
 //   moela_cli --list
