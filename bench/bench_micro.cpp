@@ -2,10 +2,19 @@
 // discusses: hypervolume computation versus objective count (the overhead
 // MOELA's decomposition-based local search avoids, Sec. IV.B), routing and
 // objective evaluation (the evaluation cost), random-forest training and
-// prediction (the Eval model), and the variation operators.
+// prediction (the Eval model), and the variation operators — plus an
+// end-to-end algorithm x problem suite (BM_EndToEnd/*) whose wall time and
+// evals_per_sec counter feed the committed BENCH_*.json baselines that
+// scripts/bench_compare.py diffs for regressions:
+//
+//   bench_micro --benchmark_filter=BM_EndToEnd
+//               --benchmark_format=json --benchmark_out=BENCH_new.json
+//   scripts/bench_compare.py BENCH_7.json BENCH_new.json
 #include <benchmark/benchmark.h>
 
 #include "api/any_problem.hpp"
+#include "api/executor.hpp"
+#include "api/request.hpp"
 #include "ml/random_forest.hpp"
 #include "moo/hypervolume.hpp"
 #include "moo/scalarize.hpp"
@@ -216,6 +225,57 @@ void BM_NeighborTypeErased(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NeighborTypeErased);
+
+// End-to-end algorithm x problem runs through the api layer: each
+// iteration is one full fixed-seed optimization, so real_time is the wall
+// time per run and the evals_per_sec counter is the throughput number the
+// committed BENCH_*.json baselines track across PRs.
+void BM_EndToEnd(benchmark::State& state, const char* problem,
+                 const char* algorithm) {
+  api::RunRequest request;
+  request.problem = problem;
+  request.algorithm = algorithm;
+  request.options.max_evaluations = 2000;
+  request.options.snapshot_interval = 1000;
+  request.options.seed = 1;
+  request.options.population_size = 24;
+  request.options.n_local = 3;
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    api::Executor executor({.jobs = 1});
+    const api::RunReport report = executor.run_all({request}).front();
+    evaluations += report.evaluations;
+    benchmark::DoNotOptimize(report.evaluations);
+  }
+  // SetItemsProcessed (total evals over total elapsed) rather than a raw
+  // rate counter: items_per_second is computed identically across
+  // google-benchmark versions.
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.counters["evals_per_run"] = benchmark::Counter(
+      static_cast<double>(evaluations), benchmark::Counter::kAvgIterations);
+}
+
+// UseRealTime: the optimization runs on the Executor's pool thread, so the
+// timing thread's cpu_time is meaningless — wall time is the measurement.
+#define MOELA_END_TO_END(problem, algorithm)                       \
+  BENCHMARK_CAPTURE(BM_EndToEnd, problem##_##algorithm, #problem,  \
+                    #algorithm)                                    \
+      ->UseRealTime()
+
+MOELA_END_TO_END(zdt1, moela);
+MOELA_END_TO_END(zdt1, nsga2);
+MOELA_END_TO_END(zdt1, moead);
+MOELA_END_TO_END(zdt1, moos);
+MOELA_END_TO_END(dtlz2, moela);
+MOELA_END_TO_END(dtlz2, nsga2);
+MOELA_END_TO_END(dtlz2, moead);
+MOELA_END_TO_END(dtlz2, moos);
+MOELA_END_TO_END(knapsack, moela);
+MOELA_END_TO_END(knapsack, nsga2);
+MOELA_END_TO_END(knapsack, moead);
+MOELA_END_TO_END(knapsack, moos);
+
+#undef MOELA_END_TO_END
 
 }  // namespace
 

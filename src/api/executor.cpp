@@ -11,12 +11,13 @@ namespace moela::api {
 
 Executor::Executor(ExecutorConfig config) : config_(config) {
   if (config_.run_log == nullptr) config_.run_log = RunLogger::from_env();
-  std::size_t jobs = config.jobs;
-  if (jobs == 0) {
-    jobs = std::max(1u, std::thread::hardware_concurrency());
+  jobs_ = config.jobs;
+  if (jobs_ == 0) {
+    jobs_ = std::max(1u, std::thread::hardware_concurrency());
   }
-  workers_.reserve(jobs);
-  for (std::size_t i = 0; i < jobs; ++i) {
+  if (!config_.pool) return;  // execute_one-only: the owner brings threads
+  workers_.reserve(jobs_);
+  for (std::size_t i = 0; i < jobs_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -46,6 +47,11 @@ void Executor::worker_loop() {
 
 std::vector<std::future<RunReport>> Executor::submit(
     std::vector<RunRequest> requests, RunControl* control) {
+  if (!config_.pool) {
+    throw std::logic_error(
+        "Executor: pool disabled (ExecutorConfig::pool = false); drive "
+        "execute_one from the owning scheduler instead");
+  }
   auto batch = std::make_shared<BatchState>();
   batch->total = requests.size();
   std::vector<std::future<RunReport>> futures;
@@ -72,6 +78,12 @@ std::vector<RunReport> Executor::run_all(std::vector<RunRequest> requests,
   reports.reserve(futures.size());
   for (auto& future : futures) reports.push_back(future.get());
   return reports;
+}
+
+RunReport Executor::execute_one(const RunRequest& request,
+                                RunControl* control, std::size_t index,
+                                const std::shared_ptr<BatchState>& batch) {
+  return execute(request, control, index, batch);
 }
 
 RunReport Executor::execute(const RunRequest& request, RunControl* control,

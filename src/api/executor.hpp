@@ -49,6 +49,12 @@ struct ExecutorConfig {
   /// MOELA_RUN_LOG=<path> enables structured logs in any Executor-based
   /// tool without code changes.
   class RunLogger* run_log = nullptr;
+  /// When false, no worker pool is spawned and submit()/run_all() refuse:
+  /// the owner drives execute_one() from its own worker threads instead
+  /// (serve::sched::Scheduler does this, so queue policy lives in one
+  /// place and threads are not doubled). jobs() still reports the
+  /// configured parallelism either way.
+  bool pool = true;
 };
 
 class Executor {
@@ -61,12 +67,23 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  std::size_t jobs() const { return workers_.size(); }
+  /// Configured parallelism (the resolved `jobs`), whether or not a pool
+  /// was spawned.
+  std::size_t jobs() const { return jobs_; }
+
+  /// Shared per-batch bookkeeping for the `completed / total` progress
+  /// fields. Public so an external scheduler dispatching a batch's runs
+  /// one at a time (execute_one) can keep one shared tally per batch.
+  struct BatchState {
+    std::atomic<std::size_t> completed{0};
+    std::size_t total = 0;
+  };
 
   /// Schedules the batch; returns futures index-aligned with `requests`.
   /// A run that throws (unknown registry key, bad problem options, ...)
   /// surfaces the exception from that future's get(). `control` (optional)
-  /// is shared by every run in the batch.
+  /// is shared by every run in the batch. Throws std::logic_error when the
+  /// pool is disabled (ExecutorConfig::pool = false).
   std::vector<std::future<RunReport>> submit(std::vector<RunRequest> requests,
                                              RunControl* control = nullptr);
 
@@ -75,19 +92,23 @@ class Executor {
   std::vector<RunReport> run_all(std::vector<RunRequest> requests,
                                  RunControl* control = nullptr);
 
- private:
-  /// Shared per-batch bookkeeping for the `completed / total` progress
-  /// fields.
-  struct BatchState {
-    std::atomic<std::size_t> completed{0};
-    std::size_t total = 0;
-  };
+  /// Executes one request synchronously ON THE CALLING THREAD — the entry
+  /// point for external schedulers (serve::sched::Scheduler) that own
+  /// their worker pools but must keep cache, run-log, provenance, and
+  /// progress semantics identical to pool execution. `batch` is the
+  /// logical batch's shared tally (never null; total set by the caller).
+  /// Exceptions propagate to the caller.
+  RunReport execute_one(const RunRequest& request, RunControl* control,
+                        std::size_t index,
+                        const std::shared_ptr<BatchState>& batch);
 
+ private:
   RunReport execute(const RunRequest& request, RunControl* control,
                     std::size_t index, const std::shared_ptr<BatchState>& batch);
   void worker_loop();
 
   ExecutorConfig config_;
+  std::size_t jobs_ = 0;
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<RunReport()>> queue_;
   std::mutex mutex_;

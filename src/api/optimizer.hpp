@@ -161,6 +161,11 @@ struct RunProvenance {
   /// Canonical cache key of the request; empty when uncacheable.
   std::string cache_key;
   bool cache_hit = false;
+  /// The scheduling class that carried the run on a daemon ("interactive"
+  /// / "normal" / "batch"); "normal" for inline execution. Scheduling
+  /// provenance only — like cache_hit it never affects the run's content,
+  /// and it is deliberately absent from the cache key.
+  std::string priority = "normal";
   /// True when a stop was requested while this run was in flight (the
   /// report then covers only the evaluations up to the stop).
   bool cancelled = false;

@@ -242,7 +242,8 @@ Json report_to_json(const RunReport& report) {
       .set("knobs", knobs_to_json(p.knobs))
       .set("cache_key", p.cache_key)
       .set("cache_hit", p.cache_hit)
-      .set("cancelled", p.cancelled);
+      .set("cancelled", p.cancelled)
+      .set("priority", p.priority);
 
   Json out = Json::object();
   out.set("algorithm", report.algorithm)
@@ -293,6 +294,8 @@ RunReport report_from_json(const Json& json) {
     read_string(*provenance, "cache_key", p.cache_key);
     read_bool(*provenance, "cache_hit", p.cache_hit);
     read_bool(*provenance, "cancelled", p.cancelled);
+    // Absent on pre-scheduler wire peers: the default ("normal") stands.
+    read_string(*provenance, "priority", p.priority);
   }
   return report;
 }

@@ -180,8 +180,8 @@ void run_shard(const ShardedExecutorConfig& config,
       // chunk then answers normally with its unfinished members marked
       // cancelled — a successful response, so no attempt is charged and
       // the shard is not retired.
-      std::vector<RunReport> served =
-          client.run(batch, config.stream_progress, handler, control);
+      std::vector<RunReport> served = client.run(
+          batch, config.stream_progress, handler, control, config.priority);
       if (served.size() != chunk.size()) {
         throw std::runtime_error(client.endpoint() +
                                  ": response size mismatch");
@@ -265,11 +265,23 @@ bool parse_shard_policy(const std::string& text, ShardPolicy& out) {
     out = ShardPolicy::kWorkStealing;
     return true;
   }
+  if (text == "weighted") {
+    out = ShardPolicy::kWeighted;
+    return true;
+  }
   return false;
 }
 
 std::string shard_policy_name(ShardPolicy policy) {
-  return policy == ShardPolicy::kRoundRobin ? "round-robin" : "work-steal";
+  switch (policy) {
+    case ShardPolicy::kRoundRobin:
+      return "round-robin";
+    case ShardPolicy::kWeighted:
+      return "weighted";
+    case ShardPolicy::kWorkStealing:
+      break;
+  }
+  return "work-steal";
 }
 
 std::string ShardEndpoint::to_string() const {
@@ -311,11 +323,15 @@ std::vector<RunReport> ShardedExecutor::run_all(
   // behind its TCP connect timeout.
   std::vector<std::size_t> healthy;
   std::vector<std::size_t> probed_jobs(config_.endpoints.size(), 0);
+  /// Reported load (runs in flight + scheduler queue depth), the
+  /// kWeighted placement's second input. Zero when unprobed or the daemon
+  /// predates the fields.
+  std::vector<std::size_t> probed_load(config_.endpoints.size(), 0);
   if (config_.probe_health) {
     std::vector<std::thread> probes;
     probes.reserve(config_.endpoints.size());
     for (std::size_t s = 0; s < config_.endpoints.size(); ++s) {
-      probes.emplace_back([this, s, &probed_jobs] {
+      probes.emplace_back([this, s, &probed_jobs, &probed_load] {
         const ShardEndpoint& endpoint = config_.endpoints[s];
         try {
           serve::Client probe;
@@ -328,6 +344,8 @@ std::vector<RunReport> ShardedExecutor::run_all(
               accepting = a->as_bool();
             }
             probed_jobs[s] = util::u64_field_or(health, "jobs", 0);
+            probed_load[s] = util::u64_field_or(health, "inflight", 0) +
+                             util::u64_field_or(health, "queued", 0);
           } catch (const serve::RemoteError&) {
             accepting = probe.ping();  // daemon predates the health verb
           }
@@ -363,6 +381,32 @@ std::vector<RunReport> ShardedExecutor::run_all(
     if (config_.policy == ShardPolicy::kRoundRobin) {
       for (std::size_t i = 0; i < n; ++i) {
         shared.owned[healthy[i % healthy.size()]].push_back(i);
+      }
+      shared.owned_total = n;
+    } else if (config_.policy == ShardPolicy::kWeighted) {
+      // Load-aware static placement: each request (in order, so the
+      // partition is deterministic given the probe) goes to the shard
+      // with the lowest projected utilization
+      //     (reported load + assigned so far) / worker capacity,
+      // compared exactly by cross-multiplication — a 4-worker idle daemon
+      // owns 4x what a 1-worker one does, and a daemon already loaded by
+      // OTHER clients starts with that handicap. Requeue/steal dynamics
+      // on failure are identical to round-robin's.
+      std::vector<std::uint64_t> assigned(config_.endpoints.size(), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = healthy.front();
+        for (const std::size_t s : healthy) {
+          const std::uint64_t cap_s =
+              std::max<std::uint64_t>(1, probed_jobs[s]);
+          const std::uint64_t cap_best =
+              std::max<std::uint64_t>(1, probed_jobs[best]);
+          if ((probed_load[s] + assigned[s]) * cap_best <
+              (probed_load[best] + assigned[best]) * cap_s) {
+            best = s;
+          }
+        }
+        shared.owned[best].push_back(i);
+        ++assigned[best];
       }
       shared.owned_total = n;
     } else {

@@ -42,6 +42,14 @@
 //                     queue as their previous replies arrive, so a fast
 //                     (or cache-warm) daemon naturally serves more of the
 //                     batch.
+//   * kWeighted     — static like round-robin, but each request goes to
+//                     the shard with the lowest projected utilization
+//                     (health-reported inflight + queued load, plus what
+//                     this placement already assigned, over the daemon's
+//                     worker count) — so a big or idle daemon owns more of
+//                     the batch and a busy one is not pile-driven. Needs
+//                     the health probe; without it every shard looks
+//                     identical and placement degrades to round-robin.
 #pragma once
 
 #include <cstddef>
@@ -51,12 +59,14 @@
 #include "api/optimizer.hpp"
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
+#include "serve/sched/policy.hpp"
 
 namespace moela::api {
 
-enum class ShardPolicy { kRoundRobin, kWorkStealing };
+enum class ShardPolicy { kRoundRobin, kWorkStealing, kWeighted };
 
-/// "round-robin" / "work-steal" (also accepts "work-stealing").
+/// "round-robin" / "work-steal" (also accepts "work-stealing") /
+/// "weighted".
 bool parse_shard_policy(const std::string& text, ShardPolicy& out);
 std::string shard_policy_name(ShardPolicy policy);
 
@@ -108,6 +118,11 @@ struct ShardedExecutorConfig {
   /// Ask the daemons for snapshot-cadence progress events and forward
   /// them (finished events are always forwarded).
   bool stream_progress = false;
+  /// The batch's scheduling class, forwarded to every shard on every wire
+  /// batch (including requeued chunks), so a fleet-wide sweep competes
+  /// under one class everywhere. Scheduling only: reports stay
+  /// bit-identical to inline execution whatever the class.
+  serve::sched::Priority priority = serve::sched::Priority::kNormal;
 };
 
 /// Per-shard outcome of the last run_all(), index-aligned with

@@ -137,7 +137,8 @@ Json Client::transact(Json message, const EventHandler& on_event,
 
 std::vector<api::RunReport> Client::run(
     const std::vector<api::RunRequest>& requests, bool stream_progress,
-    EventHandler on_event, api::RunControl* control) {
+    EventHandler on_event, api::RunControl* control,
+    sched::Priority priority) {
   Json requests_json = Json::array();
   for (const auto& request : requests) {
     requests_json.append(api::request_to_json(request));
@@ -147,14 +148,24 @@ std::vector<api::RunReport> Client::run(
   message.set("id", last_run_id_)
       .set("verb", "run")
       .set("requests", std::move(requests_json))
-      .set("progress", stream_progress);
+      .set("progress", stream_progress)
+      .set("priority", sched::priority_name(priority));
   const Json response = transact(std::move(message), on_event, control);
   if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
     const Json* error = response.find("error");
-    throw RemoteError(where() + ": " +
-                      (error != nullptr && error->is_string()
-                           ? error->as_string()
-                           : "server rejected the batch"));
+    const std::string what =
+        where() + ": " +
+        (error != nullptr && error->is_string() ? error->as_string()
+                                                : "server rejected the batch");
+    if (const Json* overloaded = response.find("overloaded");
+        overloaded != nullptr && overloaded->is_bool() &&
+        overloaded->as_bool()) {
+      throw OverloadedError(
+          what,
+          static_cast<std::size_t>(util::u64_field_or(response, "queued", 0)),
+          util::u64_field_or(response, "retry_after_ms", 0));
+    }
+    throw RemoteError(what);
   }
   const Json* reports_json = response.find("reports");
   if (reports_json == nullptr || !reports_json->is_array()) {

@@ -21,6 +21,7 @@
 #include "api/optimizer.hpp"
 #include "api/request.hpp"
 #include "serve/protocol.hpp"
+#include "serve/sched/policy.hpp"
 #include "util/json.hpp"
 
 namespace moela::serve {
@@ -29,6 +30,26 @@ namespace moela::serve {
 class RemoteError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// The daemon shed the batch at admission (its queue is full). Carries the
+/// structured facts from the "overloaded" error so a caller can back off
+/// instead of string-matching: the queue depth the daemon saw and its
+/// retry-after hint.
+class OverloadedError : public RemoteError {
+ public:
+  OverloadedError(const std::string& what, std::size_t queue_depth,
+                  std::uint64_t retry_after_ms)
+      : RemoteError(what),
+        queue_depth_(queue_depth),
+        retry_after_ms_(retry_after_ms) {}
+
+  std::size_t queue_depth() const { return queue_depth_; }
+  std::uint64_t retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  std::size_t queue_depth_ = 0;
+  std::uint64_t retry_after_ms_ = 0;
 };
 
 class Client {
@@ -58,12 +79,16 @@ class Client {
   /// unfinished entries as cancelled reports (identical in shape to an
   /// inline Executor stop). Progress events arriving after the cancel was
   /// sent are dropped (the run is winding down; a climbing counter would
-  /// be a lie). Throws RemoteError when the server rejected the batch or
-  /// any run failed, and std::runtime_error when the connection drops.
+  /// be a lie). `priority` is the batch's scheduling class (the wire's
+  /// optional "priority" field; daemons predating it ignore the field).
+  /// Throws OverloadedError when the daemon shed the batch at admission,
+  /// RemoteError when it rejected the batch otherwise or any run failed,
+  /// and std::runtime_error when the connection drops.
   std::vector<api::RunReport> run(
       const std::vector<api::RunRequest>& requests,
       bool stream_progress = false, EventHandler on_event = nullptr,
-      api::RunControl* control = nullptr);
+      api::RunControl* control = nullptr,
+      sched::Priority priority = sched::Priority::kNormal);
 
   /// Sends a standalone cancel for an earlier run id on this connection
   /// (see last_run_id()). Returns true when an in-flight batch was found

@@ -1,0 +1,147 @@
+#include "serve/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace moela::serve::sched {
+namespace {
+
+std::size_t class_index(Priority priority) {
+  return static_cast<std::size_t>(priority);
+}
+
+/// Everything one queued run needs to execute and answer its future. Held
+/// by shared_ptr because QueueItem::work is a copyable std::function.
+struct Job {
+  api::RunRequest request;
+  api::RunControl* control = nullptr;
+  std::size_t index = 0;
+  std::shared_ptr<api::Executor::BatchState> batch;
+  std::promise<api::RunReport> promise;
+};
+
+}  // namespace
+
+Scheduler::Scheduler(api::Executor& executor, SchedulerConfig config)
+    : config_(config), executor_(executor), queue_(config.weights) {
+  std::size_t workers = config_.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::uint64_t Scheduler::retry_after_hint(std::size_t queue_depth) const {
+  const std::size_t workers = std::max<std::size_t>(1, workers_.size());
+  const std::uint64_t hint = 50 * (1 + queue_depth / workers);
+  return std::min<std::uint64_t>(hint, 5000);
+}
+
+Scheduler::Admission Scheduler::submit(std::vector<api::RunRequest> requests,
+                                       Priority priority, std::uint64_t lane,
+                                       api::RunControl* control) {
+  const std::size_t n = requests.size();
+  const std::size_t cls = class_index(priority);
+  Admission admission;
+  auto batch = std::make_shared<api::Executor::BatchState>();
+  batch->total = n;
+  admission.futures.reserve(n);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Admission is all-or-nothing ON THE QUEUED BACKLOG: work in flight
+    // is capacity being used, not load waiting, so it does not count
+    // against the bound.
+    if (queue_.size() + n > config_.max_queued) {
+      admission.queue_depth = queue_.size();
+      admission.retry_after_ms = retry_after_hint(queue_.size());
+      admission.futures.clear();
+      counters_[cls].shed += n;
+      return admission;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      auto job = std::make_shared<Job>();
+      job->request = std::move(requests[i]);
+      job->control = control;
+      job->index = i;
+      job->batch = batch;
+      admission.futures.push_back(job->promise.get_future());
+      QueueItem item;
+      item.tag = i;
+      // The counters settle BEFORE the promise: a caller that has seen its
+      // report must never read a snapshot still counting that run as
+      // running — the health verb is how clients observe the scheduler.
+      item.work = [this, job, cls] {
+        try {
+          api::RunReport report = executor_.execute_one(
+              job->request, job->control, job->index, job->batch);
+          retire(cls);
+          job->promise.set_value(std::move(report));
+        } catch (...) {
+          retire(cls);
+          job->promise.set_exception(std::current_exception());
+        }
+      };
+      queue_.push(priority, lane, std::move(item));
+    }
+    admission.admitted = true;
+    admission.queue_depth = queue_.size();
+  }
+  wake_.notify_all();
+  return admission;
+}
+
+void Scheduler::retire(std::size_t cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --counters_[cls].running;
+  ++counters_[cls].completed;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    Priority priority = Priority::kNormal;
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      queue_.pop(priority, item);
+      ++counters_[class_index(priority)].running;
+    }
+    item.work();  // settles the counters; exceptions land in the promise
+  }
+}
+
+ClassCounters Scheduler::counters(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ClassCounters out = counters_[class_index(priority)];
+  out.queued = queue_.size(priority);
+  return out;
+}
+
+std::size_t Scheduler::queued_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t Scheduler::running_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t running = 0;
+  for (const ClassCounters& counters : counters_) {
+    running += counters.running;
+  }
+  return running;
+}
+
+}  // namespace moela::serve::sched

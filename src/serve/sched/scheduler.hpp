@@ -1,0 +1,115 @@
+// The daemon's run scheduler: admission control in front of a weighted-
+// fair queue (serve/sched/queue.hpp), draining onto its own worker pool.
+//
+// The Scheduler replaces the Executor's FIFO on the serving path. A "run"
+// batch is admitted whole or shed whole (admission is all-or-nothing so a
+// batch can never half-execute); admitted runs queue individually under
+// (priority class, connection lane) and start one at a time as workers
+// free up — so a saturating batch sweep holds the queue, not the workers,
+// and an interactive run admitted behind it still starts within one
+// weighted-round-robin cycle. Each dispatched run executes through
+// api::Executor::execute_one on the calling worker thread, so caching,
+// run-log, provenance, and progress semantics are exactly the pool's —
+// scheduling reorders START TIMES ONLY, and reports stay bit-identical to
+// inline execution for fixed seeds.
+//
+// Shedding: when the queue already holds max_queued runs, submit()
+// declines with the depth it saw and a retry-after hint; nothing is
+// enqueued and no slot leaks. The per-class queued/running/completed/shed
+// counters feed the health verb.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/request.hpp"
+#include "serve/sched/policy.hpp"
+#include "serve/sched/queue.hpp"
+
+namespace moela::serve::sched {
+
+struct SchedulerConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Per-class dispatch weights of the fair queue.
+  Weights weights;
+  /// Admission bound: runs QUEUED (admitted, not yet started) across all
+  /// classes. A batch that would push past it is shed whole. Running runs
+  /// do not count — capacity in flight is not backlog.
+  std::size_t max_queued = 1024;
+};
+
+class Scheduler {
+ public:
+  /// Outcome of one submit(): either the batch's futures (index-aligned
+  /// with the submitted requests) or a shed decision with the structured
+  /// overload facts the protocol reports.
+  struct Admission {
+    bool admitted = false;
+    /// Queued runs at decision time (before this batch, when shed; after
+    /// enqueueing it, when admitted).
+    std::size_t queue_depth = 0;
+    /// Coarse back-off hint for a shed client, milliseconds.
+    std::uint64_t retry_after_ms = 0;
+    std::vector<std::future<api::RunReport>> futures;
+  };
+
+  /// `executor` is not owned and must outlive the Scheduler; it needs no
+  /// pool of its own (ExecutorConfig::pool = false) — these workers call
+  /// its execute_one directly.
+  explicit Scheduler(api::Executor& executor, SchedulerConfig config = {});
+  /// Drains the queue (a pending stop on the batches' controls makes that
+  /// fast: remaining runs return cancelled reports), then joins.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits the whole batch under `priority` on connection lane `lane`,
+  /// or sheds it whole. `control` (nullable) is shared by the batch's
+  /// runs, exactly as Executor::submit's is.
+  Admission submit(std::vector<api::RunRequest> requests, Priority priority,
+                   std::uint64_t lane, api::RunControl* control);
+
+  /// Snapshot of one class's counters (health verb).
+  ClassCounters counters(Priority priority) const;
+  /// Runs queued across all classes right now.
+  std::size_t queued_total() const;
+  /// Runs executing right now.
+  std::size_t running_total() const;
+
+  std::size_t workers() const { return workers_.size(); }
+  std::size_t max_queued() const { return config_.max_queued; }
+
+  /// The shed response's back-off hint for a given backlog: scales with
+  /// queue depth over worker count, clamped to [50ms, 5s]. Deterministic
+  /// in its inputs so tests can pin it.
+  std::uint64_t retry_after_hint(std::size_t queue_depth) const;
+
+ private:
+  /// Moves one run of class index `cls` from running to completed. Called
+  /// by the job itself just before it fulfills its promise, so counter
+  /// snapshots are never behind a report the caller already holds.
+  void retire(std::size_t cls);
+  void worker_loop();
+
+  SchedulerConfig config_;
+  api::Executor& executor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  FairQueue queue_;
+  /// queued is derived from queue_; running/completed/shed live here.
+  ClassCounters counters_[kNumClasses];
+  bool shutting_down_ = false;
+};
+
+}  // namespace moela::serve::sched

@@ -71,7 +71,15 @@ Server::Server(ServeConfig config)
   executor_config.jobs = config_.jobs;
   executor_config.cache = config_.use_cache ? &cache_ : nullptr;
   executor_config.run_log = config_.run_log;
+  // The scheduler brings the worker pool; the Executor contributes its
+  // execute path (cache, run-log, provenance) through execute_one.
+  executor_config.pool = false;
   executor_ = std::make_unique<api::Executor>(executor_config);
+  sched::SchedulerConfig sched_config;
+  sched_config.workers = executor_->jobs();
+  sched_config.weights = config_.weights;
+  sched_config.max_queued = config_.max_queued;
+  scheduler_ = std::make_unique<sched::Scheduler>(*executor_, sched_config);
 }
 
 Server::~Server() {
@@ -143,7 +151,8 @@ void Server::accept_loop() {
       break;
     }
     reap_connections();
-    auto connection = std::make_shared<Connection>(fd);
+    auto connection = std::make_shared<Connection>(
+        fd, next_lane_.fetch_add(1, std::memory_order_relaxed));
     std::lock_guard<std::mutex> lock(conn_mutex_);
     connections_.emplace_back(connection, std::thread([this, connection] {
                                 serve_connection(connection);
@@ -332,7 +341,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
   } else if (verb == "health") {
     // One-line load snapshot for shard placement (api::ShardedExecutor
     // probes this before partitioning a batch): capacity, current load,
-    // lifetime counters, and whether new runs would be accepted.
+    // scheduler backlog (total and per class), lifetime counters, and
+    // whether new runs would be accepted.
     Json cache = cache_counters_json(config_.use_cache, &cache_);
     Json response = make_ok(id);
     response.set("server", "moela_serve")
@@ -341,6 +351,11 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
         .set("inflight", static_cast<std::uint64_t>(inflight_total()))
         .set("max_inflight",
              static_cast<std::uint64_t>(config_.max_inflight))
+        .set("queued", static_cast<std::uint64_t>(scheduler_->queued_total()))
+        .set("running",
+             static_cast<std::uint64_t>(scheduler_->running_total()))
+        .set("max_queued", static_cast<std::uint64_t>(config_.max_queued))
+        .set("classes", sched_classes_json())
         .set("runs_handled", runs_handled())
         .set("runs_cancelled", runs_cancelled())
         .set("accepting", !shutdown_requested())
@@ -360,6 +375,21 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
     respond(make_error(id, verb.empty() ? "missing verb"
                                         : "unknown verb '" + verb + "'"));
   }
+}
+
+Json Server::sched_classes_json() const {
+  Json classes = Json::object();
+  for (std::size_t c = 0; c < sched::kNumClasses; ++c) {
+    const auto priority = static_cast<sched::Priority>(c);
+    const sched::ClassCounters counters = scheduler_->counters(priority);
+    Json entry = Json::object();
+    entry.set("queued", counters.queued)
+        .set("running", counters.running)
+        .set("completed", counters.completed)
+        .set("shed", counters.shed);
+    classes.set(sched::priority_name(priority), std::move(entry));
+  }
+  return classes;
 }
 
 void Server::handle_run(const std::shared_ptr<Connection>& connection,
@@ -401,8 +431,21 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
       p != nullptr && p->is_bool()) {
     stream_progress = p->as_bool();
   }
+  // The batch's scheduling class. Optional and additive on the wire:
+  // absent means normal, a typo is an error (misclassifying a request is
+  // worse than rejecting it).
+  sched::Priority priority = sched::Priority::kNormal;
+  if (const Json* p = message.find("priority")) {
+    if (!p->is_string() || !sched::parse_priority(p->as_string(), priority)) {
+      respond_error("run: bad priority '" +
+                    (p->is_string() ? p->as_string()
+                                    : std::string("<non-string>")) +
+                    "' (expected interactive | normal | batch)");
+      return;
+    }
+  }
 
-  // The in-flight bound: reserve slots or reject.
+  // The per-connection in-flight bound: reserve slots or reject.
   const std::size_t batch_size = requests.size();
   std::size_t inflight = connection->inflight.load(std::memory_order_relaxed);
   for (;;) {
@@ -420,8 +463,16 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
   }
   inflight_total_.fetch_add(batch_size, std::memory_order_relaxed);
 
+  // Labels ride with the progress callback (owned: the callback outlives
+  // this frame inside the control).
+  auto labels = std::make_shared<std::vector<std::string>>();
+  labels->reserve(batch_size);
+  for (const auto& request : requests) {
+    labels->push_back(request.label_or_default());
+  }
+
   std::lock_guard<std::mutex> lock(connection->batch_mutex);
-  // Reap finished dispatcher threads so a long-lived connection does not
+  // Reap finished collector threads so a long-lived connection does not
   // accumulate them.
   for (auto it = connection->batches.begin();
        it != connection->batches.end();) {
@@ -432,24 +483,91 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
       ++it;
     }
   }
-  // Register the batch's control under its id BEFORE the dispatcher
-  // thread exists: a client may fire the cancel verb immediately after
-  // the run line, and the reader must find the control even if it
-  // processes that cancel before the dispatcher is ever scheduled.
+  // Register the batch's control under its id BEFORE the scheduler can
+  // start (or a collector thread exists): a client may fire the cancel
+  // verb immediately after the run line, and the reader must find the
+  // control no matter how the threads interleave.
   auto control = std::make_shared<api::RunControl>();
+  // The progress callback likewise goes in BEFORE the first run can
+  // start, or early events would be lost.
+  control->on_progress([connection, id, labels,
+                        stream_progress](const api::RunProgress& progress) {
+    if (!progress.finished && !stream_progress) return;
+    Json event = Json::object();
+    event.set("id", id)
+        .set("event", progress.finished ? "finished" : "progress")
+        .set("index", progress.batch_index)
+        .set("label", progress.batch_index < labels->size()
+                          ? (*labels)[progress.batch_index]
+                          : std::string())
+        .set("algorithm", progress.algorithm)
+        .set("evaluations", progress.evaluations)
+        .set("max_evaluations", progress.max_evaluations)
+        .set("seconds", progress.seconds);
+    if (progress.finished) {
+      event.set("completed", progress.completed)
+          .set("total", progress.batch_size)
+          .set("cache_hit", progress.cache_hit);
+    }
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    send_json(connection->fd, event);
+  });
   {
     std::lock_guard<std::mutex> run_lock(connection->run_mutex);
     connection->active_runs.emplace(id, control);
   }
+  {
+    std::lock_guard<std::mutex> control_lock(control_mutex_);
+    active_controls_.insert(control.get());
+    if (hard_stop_.load(std::memory_order_relaxed)) control->request_stop();
+  }
+
+  sched::Scheduler::Admission admission = scheduler_->submit(
+      std::move(requests), priority, connection->lane, control.get());
+  if (!admission.admitted) {
+    // Shed: unwind every registration this frame made (no slot may leak),
+    // then answer with the structured overload facts so the client can
+    // back off instead of guessing.
+    {
+      std::lock_guard<std::mutex> run_lock(connection->run_mutex);
+      auto [begin, end] = connection->active_runs.equal_range(id);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == control) {
+          connection->active_runs.erase(it);
+          break;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> control_lock(control_mutex_);
+      active_controls_.erase(control.get());
+    }
+    connection->inflight.fetch_sub(batch_size, std::memory_order_relaxed);
+    inflight_total_.fetch_sub(batch_size, std::memory_order_relaxed);
+    Json error = make_error(
+        id, "overloaded: " + util::dec(admission.queue_depth) +
+                " run(s) queued + " + util::dec(batch_size) +
+                " requested > max_queued " + util::dec(config_.max_queued) +
+                "; retry after " + util::dec(admission.retry_after_ms) +
+                "ms");
+    error.set("overloaded", true)
+        .set("queued", static_cast<std::uint64_t>(admission.queue_depth))
+        .set("max_queued", static_cast<std::uint64_t>(config_.max_queued))
+        .set("retry_after_ms", admission.retry_after_ms);
+    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    send_json(connection->fd, error);
+    return;
+  }
+
   auto done = std::make_shared<std::atomic<bool>>(false);
-  std::thread dispatcher([this, connection, id,
-                          requests = std::move(requests), stream_progress,
-                          control, done]() mutable {
-    run_batch(connection, id, std::move(requests), stream_progress,
+  std::thread collector([this, connection, id,
+                         futures = std::move(admission.futures), priority,
+                         control, done]() mutable {
+    run_batch(connection, id, std::move(futures), priority,
               std::move(control));
     done->store(true, std::memory_order_release);
   });
-  connection->batches.emplace_back(std::move(done), std::move(dispatcher));
+  connection->batches.emplace_back(std::move(done), std::move(collector));
 }
 
 void Server::handle_cancel(const std::shared_ptr<Connection>& connection,
@@ -491,52 +609,20 @@ void Server::handle_cancel(const std::shared_ptr<Connection>& connection,
 
 void Server::run_batch(std::shared_ptr<Connection> connection,
                        std::uint64_t id,
-                       std::vector<api::RunRequest> requests,
-                       bool stream_progress,
+                       std::vector<std::future<api::RunReport>> futures,
+                       sched::Priority priority,
                        std::shared_ptr<api::RunControl> control_ptr) {
-  const std::size_t batch_size = requests.size();
-  std::vector<std::string> labels;
-  labels.reserve(batch_size);
-  for (const auto& request : requests) {
-    labels.push_back(request.label_or_default());
-  }
-
-  api::RunControl& control = *control_ptr;
-  control.on_progress([&](const api::RunProgress& progress) {
-    if (!progress.finished && !stream_progress) return;
-    Json event = Json::object();
-    event.set("id", id)
-        .set("event", progress.finished ? "finished" : "progress")
-        .set("index", progress.batch_index)
-        .set("label", progress.batch_index < labels.size()
-                          ? labels[progress.batch_index]
-                          : std::string())
-        .set("algorithm", progress.algorithm)
-        .set("evaluations", progress.evaluations)
-        .set("max_evaluations", progress.max_evaluations)
-        .set("seconds", progress.seconds);
-    if (progress.finished) {
-      event.set("completed", progress.completed)
-          .set("total", progress.batch_size)
-          .set("cache_hit", progress.cache_hit);
-    }
-    std::lock_guard<std::mutex> lock(connection->write_mutex);
-    send_json(connection->fd, event);
-  });
-
-  {
-    std::lock_guard<std::mutex> lock(control_mutex_);
-    active_controls_.insert(&control);
-    if (hard_stop_.load(std::memory_order_relaxed)) control.request_stop();
-  }
-
-  auto futures = executor_->submit(std::move(requests), &control);
+  const std::size_t batch_size = futures.size();
+  const std::string priority_name = sched::priority_name(priority);
   Json reports = Json::array();
   std::uint64_t cancelled_runs = 0;
   for (auto& future : futures) {
     try {
       api::RunReport report = future.get();
       if (report.provenance.cancelled) ++cancelled_runs;
+      // Echo the class that carried the run — overwriting whatever a
+      // cache hit replayed, so the echo always describes THIS request.
+      report.provenance.priority = priority_name;
       reports.append(api::report_to_json(report));
     } catch (const std::exception& e) {
       Json error = Json::object();
@@ -559,7 +645,7 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
   }
   {
     std::lock_guard<std::mutex> lock(control_mutex_);
-    active_controls_.erase(&control);
+    active_controls_.erase(control_ptr.get());
   }
 
   runs_handled_.fetch_add(batch_size, std::memory_order_relaxed);

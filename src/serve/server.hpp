@@ -1,18 +1,28 @@
 // The moela_serve daemon core: a long-lived TCP server that multiplexes
 // line-delimited JSON requests (serve/protocol.hpp) onto ONE shared
-// api::Executor backed by ONE process-lifetime api::ResultCache — so every
-// connection benefits from every other connection's completed runs, and a
-// repeated request is answered without re-running. Results are bit-identical
-// to inline execution for fixed seeds: the daemon adds serialization
-// (api/serde.hpp), not arithmetic.
+// scheduler (serve/sched/) driving ONE api::Executor backed by ONE
+// process-lifetime api::ResultCache — so every connection benefits from
+// every other connection's completed runs, and a repeated request is
+// answered without re-running. Results are bit-identical to inline
+// execution for fixed seeds: the daemon adds serialization (api/serde.hpp)
+// and scheduling (start-time ordering), not arithmetic.
+//
+// Scheduling: each "run" batch carries a priority class (interactive /
+// normal / batch). Admitted runs queue in the sched::Scheduler's
+// weighted-fair queue — per-class weights, round-robin across connections
+// within a class — and admission is bounded: when max_queued runs are
+// already waiting, the batch is shed whole with a structured "overloaded"
+// error (queue depth + retry-after hint) instead of queueing unboundedly.
 //
 // Threading model:
 //   * one accept thread;
 //   * one reader thread per connection (verbs other than "run" answer
 //     inline);
-//   * one dispatcher thread per "run" batch, which submits to the shared
-//     Executor's worker pool and streams progress events back on the
+//   * one collector thread per "run" batch, which awaits the batch's
+//     futures from the scheduler and streams progress events back on the
 //     submitting connection (writes serialized by a per-connection mutex);
+//   * the scheduler's worker pool (ServeConfig::jobs threads) executing
+//     dequeued runs through Executor::execute_one;
 //   * one watcher thread parked on a self-pipe, the async-signal-safe
 //     bridge from SIGINT/SIGTERM to an orderly drain.
 //
@@ -44,6 +54,8 @@
 #include "api/result_cache.hpp"
 #include "api/run_log.hpp"
 #include "serve/protocol.hpp"
+#include "serve/sched/policy.hpp"
+#include "serve/sched/scheduler.hpp"
 #include "util/json.hpp"
 
 namespace moela::serve {
@@ -60,8 +72,16 @@ struct ServeConfig {
   bool use_cache = true;
   std::string cache_dir;
   /// Per-connection bound on runs queued or running at once; a "run" verb
-  /// that would exceed it is rejected with an error response.
+  /// that would exceed it is rejected with an error response. (The
+  /// fairness bound for ONE client; `max_queued` below bounds ALL of
+  /// them.)
   std::size_t max_inflight = 256;
+  /// Admission bound: runs queued (admitted, not yet started) across all
+  /// connections and classes. A batch that would push past it is shed
+  /// whole with a structured "overloaded" error instead of queueing.
+  std::size_t max_queued = 1024;
+  /// Weighted-fair dispatch weights per priority class.
+  sched::Weights weights;
   /// Optional per-run JSONL logger (not owned). Null falls back to
   /// $MOELA_RUN_LOG via the Executor.
   api::RunLogger* run_log = nullptr;
@@ -128,10 +148,17 @@ class Server {
     return inflight_total_.load(std::memory_order_relaxed);
   }
 
+  /// The weighted-fair scheduler (per-class counters, for tests; remote
+  /// observers read the same numbers off the health verb).
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+
  private:
   struct Connection {
-    explicit Connection(int fd) : fd(fd) {}
+    Connection(int fd, std::uint64_t lane) : fd(fd), lane(lane) {}
     const int fd;
+    /// This connection's lane in the weighted-fair queue: connections at
+    /// the same priority share that class's slots round-robin by lane.
+    const std::uint64_t lane;
     /// Serializes response/event lines from concurrent batch threads.
     std::mutex write_mutex;
     /// Runs queued or running on this connection (the in-flight bound).
@@ -163,9 +190,15 @@ class Server {
                   std::uint64_t id, const util::Json& message);
   void handle_cancel(const std::shared_ptr<Connection>& connection,
                      std::uint64_t id, const util::Json& message);
+  /// Awaits one admitted batch's futures (completion order decided by the
+  /// scheduler), stamps the class into each report's provenance, and sends
+  /// the final response.
   void run_batch(std::shared_ptr<Connection> connection, std::uint64_t id,
-                 std::vector<api::RunRequest> requests, bool stream_progress,
+                 std::vector<std::future<api::RunReport>> futures,
+                 sched::Priority priority,
                  std::shared_ptr<api::RunControl> control);
+  /// The health verb's per-class counter block.
+  util::Json sched_classes_json() const;
   /// Stops the listener and nudges idle connection readers; safe to call
   /// repeatedly, from the watcher or teardown.
   void begin_drain();
@@ -174,6 +207,10 @@ class Server {
   ServeConfig config_;
   api::ResultCache cache_;
   std::unique_ptr<api::Executor> executor_;
+  /// Declared after executor_ (and destroyed before it): the scheduler's
+  /// workers call into the executor.
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::atomic<std::uint64_t> next_lane_{0};
 
   int listen_fd_ = -1;
   int port_ = 0;

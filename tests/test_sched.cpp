@@ -1,0 +1,297 @@
+// Tests for the serving scheduler (src/serve/sched/): the FairQueue's two
+// nested disciplines driven single-threaded so pop order is asserted
+// exactly — weighted round-robin across classes (credits, refill,
+// forfeited shares) and lane round-robin within a class — plus the
+// policy vocabulary (wire spellings, weight clamping) and the Scheduler
+// itself: admission, all-or-nothing shedding with the structured overload
+// facts, per-class counters, and the bit-identical-to-inline property of
+// runs dispatched through the queue.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/executor.hpp"
+#include "api/request.hpp"
+#include "serve/sched/policy.hpp"
+#include "serve/sched/queue.hpp"
+#include "serve/sched/scheduler.hpp"
+
+namespace moela::serve::sched {
+namespace {
+
+QueueItem tagged(std::uint64_t tag) {
+  QueueItem item;
+  item.tag = tag;
+  return item;
+}
+
+/// Drains the queue, returning the popped tags in dispatch order.
+std::vector<std::uint64_t> drain(FairQueue& queue) {
+  std::vector<std::uint64_t> order;
+  Priority priority = Priority::kNormal;
+  QueueItem item;
+  while (queue.pop(priority, item)) order.push_back(item.tag);
+  return order;
+}
+
+// --- policy vocabulary ----------------------------------------------------
+
+TEST(SchedPolicy, NamesAndParsingRoundTrip) {
+  for (const Priority priority :
+       {Priority::kInteractive, Priority::kNormal, Priority::kBatch}) {
+    Priority back = Priority::kNormal;
+    ASSERT_TRUE(parse_priority(priority_name(priority), back));
+    EXPECT_EQ(back, priority);
+  }
+  EXPECT_EQ(priority_name(Priority::kInteractive), "interactive");
+  EXPECT_EQ(priority_name(Priority::kNormal), "normal");
+  EXPECT_EQ(priority_name(Priority::kBatch), "batch");
+}
+
+TEST(SchedPolicy, ParseRejectsTyposWithoutTouchingOut) {
+  Priority out = Priority::kBatch;
+  EXPECT_FALSE(parse_priority("urgent", out));
+  EXPECT_FALSE(parse_priority("Interactive", out));
+  EXPECT_FALSE(parse_priority("", out));
+  EXPECT_EQ(out, Priority::kBatch);  // untouched on failure
+}
+
+TEST(SchedPolicy, WeightsClampToAtLeastOne) {
+  Weights weights;
+  weights.interactive = 0;
+  weights.batch = 0;
+  EXPECT_EQ(weights.of(Priority::kInteractive), 1u);
+  EXPECT_EQ(weights.of(Priority::kBatch), 1u);
+  EXPECT_EQ(weights.of(Priority::kNormal), 4u);  // the default, unclamped
+}
+
+// --- FairQueue: across classes --------------------------------------------
+
+TEST(FairQueue, WeightedRoundRobinAcrossClasses) {
+  Weights weights;
+  weights.interactive = 2;
+  weights.normal = 1;
+  weights.batch = 1;
+  FairQueue queue(weights);
+  for (std::uint64_t tag : {1, 2, 3, 4}) {
+    queue.push(Priority::kInteractive, 0, tagged(tag));
+  }
+  queue.push(Priority::kNormal, 0, tagged(11));
+  queue.push(Priority::kNormal, 0, tagged(12));
+  queue.push(Priority::kBatch, 0, tagged(21));
+  queue.push(Priority::kBatch, 0, tagged(22));
+
+  EXPECT_EQ(queue.size(), 8u);
+  EXPECT_EQ(queue.size(Priority::kInteractive), 4u);
+  // Per credit cycle: 2 interactive, 1 normal, 1 batch.
+  EXPECT_EQ(drain(queue),
+            (std::vector<std::uint64_t>{1, 2, 11, 21, 3, 4, 12, 22}));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairQueue, IdleClassForfeitsItsShare) {
+  // Only batch work queued: batch drains at full speed (one dispatch per
+  // one-credit cycle, but no other class is taking turns) . . .
+  FairQueue queue;  // default weights 8, 4, 1
+  for (std::uint64_t tag : {1, 2, 3}) {
+    queue.push(Priority::kBatch, 0, tagged(tag));
+  }
+  Priority priority = Priority::kNormal;
+  QueueItem item;
+  ASSERT_TRUE(queue.pop(priority, item));
+  EXPECT_EQ(item.tag, 1u);
+  EXPECT_EQ(priority, Priority::kBatch);
+  ASSERT_TRUE(queue.pop(priority, item));
+  EXPECT_EQ(item.tag, 2u);
+
+  // . . . and an interactive run arriving into the backlog is dispatched
+  // on the very next pop — the idle cycles did not let batch bank credit.
+  queue.push(Priority::kInteractive, 7, tagged(100));
+  ASSERT_TRUE(queue.pop(priority, item));
+  EXPECT_EQ(item.tag, 100u);
+  EXPECT_EQ(priority, Priority::kInteractive);
+  ASSERT_TRUE(queue.pop(priority, item));
+  EXPECT_EQ(item.tag, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(FairQueue, EveryClassDispatchesWithinOneCycleOfBacklog) {
+  // The bounded-starvation guarantee: with every weight >= 1, a batch run
+  // behind saturating interactive traffic still dispatches within one
+  // sum-of-weights cycle.
+  Weights weights;
+  weights.interactive = 3;
+  weights.normal = 2;
+  weights.batch = 1;
+  FairQueue queue(weights);
+  for (std::uint64_t tag = 0; tag < 12; ++tag) {
+    queue.push(Priority::kInteractive, 0, tagged(tag));
+  }
+  queue.push(Priority::kBatch, 0, tagged(99));
+
+  const std::vector<std::uint64_t> order = drain(queue);
+  ASSERT_EQ(order.size(), 13u);
+  std::size_t batch_position = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 99) batch_position = i;
+  }
+  // 3 interactive dispatches may precede it, never a full second cycle.
+  EXPECT_LE(batch_position, 3u);
+}
+
+// --- FairQueue: within a class --------------------------------------------
+
+TEST(FairQueue, LanesShareAClassRoundRobinAndStayFifo) {
+  FairQueue queue;
+  for (std::uint64_t tag : {1, 2, 3}) {
+    queue.push(Priority::kNormal, /*lane=*/1, tagged(tag));
+  }
+  queue.push(Priority::kNormal, /*lane=*/2, tagged(4));
+  queue.push(Priority::kNormal, /*lane=*/2, tagged(5));
+
+  // Lane 1 queued three runs, lane 2 two — they alternate anyway, and
+  // each lane's own runs stay in admission order.
+  EXPECT_EQ(drain(queue), (std::vector<std::uint64_t>{1, 4, 2, 5, 3}));
+}
+
+TEST(FairQueue, DrainedLaneIsForgotten) {
+  FairQueue queue;
+  queue.push(Priority::kNormal, 1, tagged(1));
+  Priority priority = Priority::kNormal;
+  QueueItem item;
+  ASSERT_TRUE(queue.pop(priority, item));
+  EXPECT_TRUE(queue.empty());
+
+  // The lane left nothing behind: a fresh push dispatches immediately and
+  // an empty queue reports pop failure, not a phantom lane.
+  EXPECT_FALSE(queue.pop(priority, item));
+  queue.push(Priority::kNormal, 1, tagged(2));
+  ASSERT_TRUE(queue.pop(priority, item));
+  EXPECT_EQ(item.tag, 2u);
+}
+
+// --- Scheduler ------------------------------------------------------------
+
+api::RunRequest zdt1_request(std::uint64_t seed) {
+  api::RunRequest request;
+  request.problem = "zdt1";
+  request.problem_options.num_variables = 10;
+  request.algorithm = "nsga2";
+  request.options.max_evaluations = 400;
+  request.options.snapshot_interval = 200;
+  request.options.seed = seed;
+  request.options.population_size = 12;
+  request.options.n_local = 3;
+  return request;
+}
+
+/// An Executor in pool-less mode: the Scheduler under test owns the only
+/// worker threads.
+struct PoollessExecutor {
+  PoollessExecutor() {
+    api::ExecutorConfig config;
+    config.jobs = 1;
+    config.pool = false;
+    executor = std::make_unique<api::Executor>(config);
+  }
+  std::unique_ptr<api::Executor> executor;
+};
+
+TEST(Scheduler, PoollessExecutorRefusesItsOwnSubmit) {
+  PoollessExecutor fixture;
+  EXPECT_THROW(fixture.executor->submit({zdt1_request(1)}, nullptr),
+               std::logic_error);
+}
+
+TEST(Scheduler, RunsDispatchedThroughTheQueueMatchInlineExecution) {
+  api::Executor direct({.jobs = 1});
+  const api::RunReport reference =
+      direct.run_all({zdt1_request(5)}).front();
+
+  PoollessExecutor fixture;
+  SchedulerConfig config;
+  config.workers = 2;
+  Scheduler scheduler(*fixture.executor, config);
+  Scheduler::Admission admission = scheduler.submit(
+      {zdt1_request(5)}, Priority::kInteractive, /*lane=*/0, nullptr);
+  ASSERT_TRUE(admission.admitted);
+  ASSERT_EQ(admission.futures.size(), 1u);
+  const api::RunReport report = admission.futures.front().get();
+
+  EXPECT_EQ(report.final_front, reference.final_front);
+  EXPECT_EQ(report.evaluations, reference.evaluations);
+  EXPECT_EQ(report.provenance.cache_key, reference.provenance.cache_key);
+
+  const ClassCounters counters = scheduler.counters(Priority::kInteractive);
+  EXPECT_EQ(counters.completed, 1u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(scheduler.queued_total(), 0u);
+}
+
+TEST(Scheduler, BatchLargerThanMaxQueuedIsShedWholeWithStructuredFacts) {
+  PoollessExecutor fixture;
+  SchedulerConfig config;
+  config.workers = 1;
+  config.max_queued = 2;
+  Scheduler scheduler(*fixture.executor, config);
+
+  // 3 > 2 even against an empty queue: shed whole, nothing enqueued.
+  Scheduler::Admission shed = scheduler.submit(
+      {zdt1_request(1), zdt1_request(2), zdt1_request(3)}, Priority::kNormal,
+      /*lane=*/0, nullptr);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_TRUE(shed.futures.empty());
+  EXPECT_EQ(shed.queue_depth, 0u);
+  EXPECT_EQ(shed.retry_after_ms, scheduler.retry_after_hint(0));
+  EXPECT_EQ(scheduler.queued_total(), 0u);
+  EXPECT_EQ(scheduler.counters(Priority::kNormal).shed, 3u);
+  EXPECT_EQ(scheduler.counters(Priority::kNormal).completed, 0u);
+
+  // The shed batch left no residue: a batch within the bound runs fine.
+  Scheduler::Admission ok = scheduler.submit(
+      {zdt1_request(1), zdt1_request(2)}, Priority::kNormal, 0, nullptr);
+  ASSERT_TRUE(ok.admitted);
+  for (auto& future : ok.futures) {
+    EXPECT_EQ(future.get().evaluations, 400u);
+  }
+  EXPECT_EQ(scheduler.counters(Priority::kNormal).completed, 2u);
+  EXPECT_EQ(scheduler.counters(Priority::kNormal).shed, 3u);  // lifetime
+}
+
+TEST(Scheduler, RetryAfterHintScalesWithBacklogAndClamps) {
+  PoollessExecutor fixture;
+  SchedulerConfig config;
+  config.workers = 2;
+  Scheduler scheduler(*fixture.executor, config);
+  EXPECT_EQ(scheduler.retry_after_hint(0), 50u);
+  EXPECT_EQ(scheduler.retry_after_hint(2), 100u);
+  EXPECT_EQ(scheduler.retry_after_hint(4), 150u);
+  EXPECT_EQ(scheduler.retry_after_hint(1000000), 5000u);  // the ceiling
+}
+
+TEST(Scheduler, StopRequestedBeforeDispatchYieldsCancelledReports) {
+  PoollessExecutor fixture;
+  SchedulerConfig config;
+  config.workers = 1;
+  Scheduler scheduler(*fixture.executor, config);
+
+  api::RunControl control;
+  control.request_stop();
+  Scheduler::Admission admission = scheduler.submit(
+      {zdt1_request(1), zdt1_request(2)}, Priority::kBatch, 0, &control);
+  ASSERT_TRUE(admission.admitted);
+  for (auto& future : admission.futures) {
+    const api::RunReport report = future.get();
+    EXPECT_TRUE(report.provenance.cancelled);
+    EXPECT_EQ(report.evaluations, 0u);
+  }
+  // A cancelled run still completed, scheduler-wise.
+  EXPECT_EQ(scheduler.counters(Priority::kBatch).completed, 2u);
+}
+
+}  // namespace
+}  // namespace moela::serve::sched

@@ -103,6 +103,21 @@ TEST(RequestSerde, RejectsMissingProblemOrAlgorithm) {
       util::JsonError);
 }
 
+TEST(ReportSerde, PriorityProvenanceRoundTripsAndDefaults) {
+  RunReport original;
+  original.algorithm = "hand-built";
+  original.provenance.priority = "interactive";
+  const RunReport back =
+      report_from_json(Json::parse(report_to_json(original).dump()));
+  EXPECT_EQ(back.provenance.priority, "interactive");
+
+  // A report from a peer predating the scheduler carries no priority
+  // field: the default class stands instead of an empty string.
+  const RunReport legacy = report_from_json(
+      Json::parse(R"({"algorithm":"x","provenance":{"seed":1}})"));
+  EXPECT_EQ(legacy.provenance.priority, "normal");
+}
+
 void expect_bit_identical(const RunReport& a, const RunReport& b) {
   EXPECT_EQ(a.algorithm, b.algorithm);
   EXPECT_EQ(a.final_front, b.final_front);
@@ -122,6 +137,7 @@ void expect_bit_identical(const RunReport& a, const RunReport& b) {
   EXPECT_EQ(a.provenance.cache_key, b.provenance.cache_key);
   EXPECT_EQ(a.provenance.cache_hit, b.provenance.cache_hit);
   EXPECT_EQ(a.provenance.cancelled, b.provenance.cancelled);
+  EXPECT_EQ(a.provenance.priority, b.provenance.priority);
 }
 
 /// Runs a real optimizer so the report carries genuine snapshots, fronts

@@ -4,14 +4,18 @@
 // received through the daemon is bit-identical to the one a direct
 // Executor call produces (modulo the cache provenance flags) — plus the
 // auxiliary verbs, progress streaming, the per-connection in-flight bound,
-// error answers, and the shutdown drain.
+// the scheduler's wire surface (priority classes, admission shedding,
+// per-class health counters, starvation freedom), error answers, and the
+// shutdown drain.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <netdb.h>
@@ -393,6 +397,248 @@ TEST(Serve, InflightBoundRejectsOversizedBatches) {
       RemoteError);
   // A batch within the bound still runs.
   EXPECT_EQ(fixture.client.run({zdt1_request("moela")}).size(), 1u);
+}
+
+// --- the scheduler through the wire ---------------------------------------
+
+/// Polls the health verb until `predicate(health)` holds (the test timeout
+/// is the backstop against a daemon that never gets there).
+template <typename Predicate>
+Json wait_for_health(Client& client, Predicate predicate) {
+  for (;;) {
+    Json health = client.health();
+    if (predicate(health)) return health;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(Serve, PriorityIsEchoedInProvenanceEvenOnCacheReplay) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "moela-serve-priority";
+  std::filesystem::remove_all(dir);
+  ServeConfig config;
+  config.use_cache = true;
+  config.cache_dir = dir.string();
+  ServerFixture fixture(config);
+
+  const std::vector<api::RunRequest> requests = {zdt1_request("moela")};
+  const api::RunReport cold = fixture.client
+                                  .run(requests, false, nullptr, nullptr,
+                                       sched::Priority::kBatch)
+                                  .front();
+  EXPECT_FALSE(cold.provenance.cache_hit);
+  EXPECT_EQ(cold.provenance.priority, "batch");
+
+  // The replay answers from the cache, but the class echoed is THIS
+  // request's — priority is scheduling provenance, never run content, and
+  // it never entered the cache key.
+  const api::RunReport warm = fixture.client
+                                  .run(requests, false, nullptr, nullptr,
+                                       sched::Priority::kInteractive)
+                                  .front();
+  EXPECT_TRUE(warm.provenance.cache_hit);
+  EXPECT_EQ(warm.provenance.priority, "interactive");
+  EXPECT_EQ(warm.provenance.cache_key, cold.provenance.cache_key);
+
+  // The unlabeled verb defaults to normal.
+  const api::RunReport unlabeled = fixture.client.run(requests).front();
+  EXPECT_EQ(unlabeled.provenance.priority, "normal");
+}
+
+TEST(Serve, MalformedPriorityIsRejected) {
+  ServerFixture fixture;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(fixture.server->port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  Json requests_json = Json::array();
+  requests_json.append(api::request_to_json(zdt1_request("moela")));
+  Json run = Json::object();
+  run.set("id", 1)
+      .set("verb", "run")
+      .set("requests", std::move(requests_json))
+      .set("priority", "urgent");
+  ASSERT_TRUE(send_line(fd, run.dump()));
+
+  LineReader reader(fd);
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  const auto response = Json::try_parse(line, nullptr);
+  ASSERT_TRUE(response.has_value()) << line;
+  EXPECT_FALSE(response->find("ok")->as_bool());
+  const std::string error = response->find("error")->as_string();
+  EXPECT_NE(error.find("bad priority 'urgent'"), std::string::npos) << error;
+  ::close(fd);
+
+  // The typo was rejected at the door: nothing ran, nothing leaked.
+  EXPECT_EQ(fixture.server->inflight_total(), 0u);
+  EXPECT_EQ(fixture.server->runs_handled(), 0u);
+}
+
+TEST(Serve, HealthReportsPerClassSchedulerCounters) {
+  ServerFixture fixture;
+  const Json cold = fixture.client.health();
+  EXPECT_EQ(cold.find("queued")->as_u64(), 0u);
+  EXPECT_EQ(cold.find("running")->as_u64(), 0u);
+  EXPECT_GE(cold.find("max_queued")->as_u64(), 1u);
+  const Json* classes = cold.find("classes");
+  ASSERT_NE(classes, nullptr);
+  for (const char* name : {"interactive", "normal", "batch"}) {
+    const Json* cls = classes->find(name);
+    ASSERT_NE(cls, nullptr) << name;
+    EXPECT_EQ(cls->find("queued")->as_u64(), 0u) << name;
+    EXPECT_EQ(cls->find("running")->as_u64(), 0u) << name;
+    EXPECT_EQ(cls->find("completed")->as_u64(), 0u) << name;
+    EXPECT_EQ(cls->find("shed")->as_u64(), 0u) << name;
+  }
+
+  fixture.client.run({zdt1_request("moela")}, false, nullptr, nullptr,
+                     sched::Priority::kBatch);
+  const Json warm = fixture.client.health();
+  const Json* batch = warm.find("classes")->find("batch");
+  EXPECT_EQ(batch->find("completed")->as_u64(), 1u);
+  EXPECT_EQ(warm.find("classes")->find("normal")->find("completed")->as_u64(),
+            0u);
+}
+
+TEST(Serve, InteractiveOvertakesSaturatingBatchSweep) {
+  // One worker, a 12-run batch sweep of ~0.2 s runs: the sweep holds the
+  // QUEUE, not the workers, so an interactive run admitted behind it
+  // starts within one weighted-round-robin cycle — it must answer while
+  // the sweep is still draining, not after.
+  ServeConfig config;
+  config.jobs = 1;
+  ServerFixture fixture(config);
+
+  std::vector<api::RunRequest> sweep;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    api::RunRequest request = zdt1_request("moela", seed);
+    request.options.max_evaluations = 50000000;
+    request.options.max_seconds = 0.2;  // wall-clock bounded, machine-proof
+    request.options.snapshot_interval = 200;
+    sweep.push_back(std::move(request));
+  }
+
+  std::vector<api::RunReport> sweep_reports;
+  std::thread sweeper([&] {
+    Client batch_client;
+    batch_client.connect("127.0.0.1", fixture.server->port());
+    sweep_reports = batch_client.run(sweep, false, nullptr, nullptr,
+                                     sched::Priority::kBatch);
+  });
+
+  // The sweep is saturating: one run in flight, backlog queued.
+  wait_for_health(fixture.client, [](const Json& health) {
+    return util::u64_field_or(health, "queued", 0) > 0;
+  });
+
+  const api::RunReport interactive =
+      fixture.client
+          .run({zdt1_request("moela", 99)}, false, nullptr, nullptr,
+               sched::Priority::kInteractive)
+          .front();
+  EXPECT_FALSE(interactive.provenance.cancelled);
+  EXPECT_EQ(interactive.evaluations, 600u);
+  EXPECT_EQ(interactive.provenance.priority, "interactive");
+
+  // The witness: when the interactive answer arrived, the batch sweep had
+  // NOT drained — only a bounded prefix of it had completed.
+  const Json during = fixture.client.health();
+  const Json* classes = during.find("classes");
+  ASSERT_NE(classes, nullptr);
+  EXPECT_EQ(classes->find("interactive")->find("completed")->as_u64(), 1u);
+  EXPECT_LT(classes->find("batch")->find("completed")->as_u64(),
+            sweep.size());
+
+  sweeper.join();
+  ASSERT_EQ(sweep_reports.size(), sweep.size());
+  for (const api::RunReport& report : sweep_reports) {
+    EXPECT_EQ(report.provenance.priority, "batch");
+  }
+  EXPECT_EQ(fixture.server->inflight_total(), 0u);
+}
+
+TEST(Serve, QueueFullShedsWithStructuredOverloadAndNoSlotLeak) {
+  ServeConfig config;
+  config.jobs = 1;
+  config.max_queued = 2;
+  ServerFixture fixture(config);
+
+  api::RunRequest endless = zdt1_request("moela", 1);
+  endless.options.max_evaluations = 50000000;
+  endless.options.snapshot_interval = 200;
+
+  // One endless run OCCUPIES the worker (running, not queued — capacity
+  // in use is not backlog) . . .
+  api::RunControl occupier_control;
+  std::vector<api::RunReport> occupier_reports;
+  std::thread occupier([&] {
+    Client client;
+    client.connect("127.0.0.1", fixture.server->port());
+    occupier_reports =
+        client.run({endless}, false, nullptr, &occupier_control);
+  });
+  wait_for_health(fixture.client, [](const Json& health) {
+    return util::u64_field_or(health, "running", 0) == 1;
+  });
+
+  // . . . two more fill the queue to max_queued . . .
+  api::RunControl backlog_control;
+  std::vector<api::RunReport> backlog_reports;
+  std::thread backlog([&] {
+    api::RunRequest a = endless, b = endless;
+    a.options.seed = 2;
+    b.options.seed = 3;
+    Client client;
+    client.connect("127.0.0.1", fixture.server->port());
+    backlog_reports =
+        client.run({a, b}, false, nullptr, &backlog_control);
+  });
+  wait_for_health(fixture.client, [](const Json& health) {
+    return util::u64_field_or(health, "queued", 0) == 2;
+  });
+
+  // . . . so the next batch is shed whole, with the structured facts a
+  // client backs off on instead of string-matching.
+  try {
+    fixture.client.run({zdt1_request("moela", 9)});
+    FAIL() << "expected the daemon to shed the batch";
+  } catch (const OverloadedError& e) {
+    EXPECT_EQ(e.queue_depth(), 2u);
+    EXPECT_EQ(e.retry_after_ms(), 150u);  // 50 ms * (1 + depth 2 / worker 1)
+    EXPECT_NE(std::string(e.what()).find("overloaded"), std::string::npos)
+        << e.what();
+  }
+  const Json shed_health = fixture.client.health();
+  EXPECT_EQ(
+      shed_health.find("classes")->find("normal")->find("shed")->as_u64(),
+      1u);
+  EXPECT_EQ(shed_health.find("queued")->as_u64(), 2u);  // untouched backlog
+
+  // Shedding leaked nothing: drain the saturating work, then the same
+  // request is admitted and completes.
+  occupier_control.request_stop();
+  backlog_control.request_stop();
+  occupier.join();
+  backlog.join();
+  ASSERT_EQ(occupier_reports.size(), 1u);
+  EXPECT_TRUE(occupier_reports.front().provenance.cancelled);
+  ASSERT_EQ(backlog_reports.size(), 2u);
+
+  EXPECT_EQ(fixture.server->inflight_total(), 0u);
+  const api::RunReport after =
+      fixture.client.run({zdt1_request("moela", 9)}).front();
+  EXPECT_FALSE(after.provenance.cancelled);
+  EXPECT_EQ(after.evaluations, 600u);
+  const Json settled = fixture.client.health();
+  EXPECT_EQ(settled.find("queued")->as_u64(), 0u);
+  EXPECT_EQ(settled.find("running")->as_u64(), 0u);
+  EXPECT_EQ(settled.find("inflight")->as_u64(), 0u);
 }
 
 // --- shutdown -------------------------------------------------------------

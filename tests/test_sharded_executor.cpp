@@ -211,6 +211,68 @@ TEST(ShardedExecutor, WorkStealingBitIdenticalAndInRequestOrder) {
   EXPECT_EQ(total, sweep.size());
 }
 
+TEST(ShardedExecutor, ParseAndNameCoverWeightedPolicy) {
+  ShardPolicy policy = ShardPolicy::kRoundRobin;
+  EXPECT_TRUE(parse_shard_policy("weighted", policy));
+  EXPECT_EQ(policy, ShardPolicy::kWeighted);
+  EXPECT_EQ(shard_policy_name(ShardPolicy::kWeighted), "weighted");
+  EXPECT_FALSE(parse_shard_policy("weighed", policy));
+}
+
+TEST(ShardedExecutor, WeightedPlacementBitIdenticalAndCapacityAware) {
+  // Ten requests over a 4-worker and a 1-worker daemon, both idle: the
+  // greedy lowest-projected-utilization placement must hand the big
+  // daemon 8 and the small one 2 (utilizations 8/4 = 2 and 2/1 = 2) —
+  // and the merged reports must not care where anything ran.
+  std::vector<RunRequest> sweep;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sweep.push_back(zdt1_request("nsga2", seed));
+  }
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  auto big = make_server(4);
+  auto small = make_server(1);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", big->port()},
+                      {"127.0.0.1", small->port()}};
+  config.policy = ShardPolicy::kWeighted;
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].provenance.seed, sweep[i].options.seed);
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  const std::vector<ShardStats>& stats = sharded.shard_stats();
+  EXPECT_EQ(stats[0].completed, 8u);
+  EXPECT_EQ(stats[1].completed, 2u);
+}
+
+TEST(ShardedExecutor, WeightedWithoutProbeDegradesToRoundRobin) {
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  auto a = make_server(4);
+  auto b = make_server(1);
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}};
+  config.policy = ShardPolicy::kWeighted;
+  // No probe: every shard looks identical (no load, no capacity), so the
+  // argmin ties resolve to an even round-robin split.
+  config.probe_health = false;
+  config.steal_chunk = 1;  // auto chunk sizing needs the probe too
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  EXPECT_EQ(sharded.shard_stats()[0].completed, 3u);
+  EXPECT_EQ(sharded.shard_stats()[1].completed, 3u);
+}
+
 // --- fault paths ----------------------------------------------------------
 
 TEST(ShardedExecutor, DeadShardSliceRetriesOntoSurvivor) {

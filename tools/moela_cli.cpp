@@ -64,6 +64,7 @@
 #include "api/sharded_executor.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/sched/policy.hpp"
 #include "util/json.hpp"
 #include "util/timer.hpp"
 
@@ -90,6 +91,10 @@ struct CliOptions {
   std::vector<std::string> connect;
   api::ShardPolicy shard_policy = api::ShardPolicy::kWorkStealing;
   bool shard_policy_set = false;  // explicit --shard-policy forces sharding
+  /// Scheduling class for daemon-side admission (--connect only; the
+  /// in-process Executor has no queue to be fair about).
+  serve::sched::Priority priority = serve::sched::Priority::kNormal;
+  bool priority_set = false;
   bool remote_shutdown = false;  // with --connect: drain the daemon(s)
   bool list = false;
   bool help = false;
@@ -141,9 +146,13 @@ void print_usage(std::FILE* to) {
                "                     repeatable — several endpoints shard "
                "the batch\n"
                "                     across the fleet (docs/operations.md)\n"
-               "  --shard-policy P   shard placement: work-steal (default) "
-               "or\n"
-               "                     round-robin\n"
+               "  --shard-policy P   shard placement: work-steal (default),\n"
+               "                     round-robin, or weighted (load-aware)\n"
+               "  --priority CLASS   daemon-side scheduling class: "
+               "interactive,\n"
+               "                     normal (default), or batch (needs "
+               "--connect;\n"
+               "                     see docs/scheduling.md)\n"
                "  --shutdown         with --connect: ask the daemon(s) to "
                "drain and exit\n"
                "  --progress         stream in-run progress at the snapshot "
@@ -291,12 +300,22 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       }
       if (!api::parse_shard_policy(v, cli.shard_policy)) {
         std::fprintf(stderr,
-                     "moela_cli: bad --shard-policy '%s' (want work-steal "
-                     "or round-robin)\n",
+                     "moela_cli: bad --shard-policy '%s' (want work-steal, "
+                     "round-robin, or weighted)\n",
                      v);
         return std::nullopt;
       }
       cli.shard_policy_set = true;
+    } else if (arg == "--priority") {
+      if ((v = need_value(i, "--priority")) == nullptr) return std::nullopt;
+      if (!serve::sched::parse_priority(v, cli.priority)) {
+        std::fprintf(stderr,
+                     "moela_cli: bad --priority '%s' (want interactive, "
+                     "normal, or batch)\n",
+                     v);
+        return std::nullopt;
+      }
+      cli.priority_set = true;
     } else if (arg == "--shutdown") {
       cli.remote_shutdown = true;
     } else if (arg == "--out") {
@@ -661,7 +680,7 @@ int run_remote(const CliOptions& cli) {
                 util::double_field_or(event, "seconds", 0.0));
           }
         },
-        &control);
+        &control, cli.priority);
     const double wall_seconds = wall.elapsed_seconds();
     const int exit_code = write_outputs(cli, requests, reports, wall_seconds);
     if (cli.remote_shutdown) {
@@ -692,6 +711,7 @@ int run_sharded(const CliOptions& cli) {
   }
   config.policy = cli.shard_policy;
   config.stream_progress = cli.progress;
+  config.priority = cli.priority;
 
   auto drain_all = [&config]() {
     for (const api::ShardEndpoint& endpoint : config.endpoints) {
@@ -787,6 +807,11 @@ int main(int argc, char** argv) {
   }
   if (cli.shard_policy_set && cli.connect.empty()) {
     std::fprintf(stderr, "moela_cli: --shard-policy needs --connect\n");
+    return 2;
+  }
+  if (cli.priority_set && cli.connect.empty()) {
+    std::fprintf(stderr, "moela_cli: --priority needs --connect (an "
+                         "in-process batch has no admission queue)\n");
     return 2;
   }
   if (!cli.connect.empty()) {

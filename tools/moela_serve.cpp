@@ -56,6 +56,15 @@ void print_usage(std::FILE* to) {
                "all cores)\n"
                "  --max-inflight N   per-connection cap on queued+running "
                "runs (default 256)\n"
+               "  --max-queued N     daemon-wide admission bound on queued "
+               "runs; a batch\n"
+               "                     that would exceed it is shed with an "
+               "'overloaded'\n"
+               "                     error (default 1024)\n"
+               "  --weights I,N,B    weighted-fair dispatch credits per "
+               "scheduling class\n"
+               "                     interactive,normal,batch (default "
+               "8,4,1; each >= 1)\n"
                "  --no-cache         disable the result cache\n"
                "  --cache-dir PATH   cache directory (default "
                "$MOELA_CACHE_DIR, else\n"
@@ -128,6 +137,30 @@ std::optional<ServeCliOptions> parse_args(
                              "1\n");
         return std::nullopt;
       }
+    } else if (arg == "--max-queued") {
+      if (!integer_value(i, "--max-queued", cli.config.max_queued)) {
+        return std::nullopt;
+      }
+      if (cli.config.max_queued == 0) {
+        std::fprintf(stderr, "moela_serve: --max-queued wants at least 1\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--weights") {
+      if ((v = need_value(i, "--weights")) == nullptr) return std::nullopt;
+      unsigned interactive = 0, normal = 0, batch = 0;
+      char trailing = '\0';
+      if (std::sscanf(v, "%u,%u,%u%c", &interactive, &normal, &batch,
+                      &trailing) != 3 ||
+          interactive == 0 || normal == 0 || batch == 0) {
+        std::fprintf(stderr,
+                     "moela_serve: --weights wants three positive integers "
+                     "I,N,B, got '%s'\n",
+                     v);
+        return std::nullopt;
+      }
+      cli.config.weights.interactive = interactive;
+      cli.config.weights.normal = normal;
+      cli.config.weights.batch = batch;
     } else if (arg == "--no-cache") {
       cli.config.use_cache = false;
     } else if (arg == "--cache-dir") {
@@ -209,7 +242,7 @@ int main(int argc, char** argv) {
 
     std::fprintf(stderr,
                  "moela_serve: listening on %s:%d (jobs=%zu, cache %s, "
-                 "max-inflight %zu)\n",
+                 "max-inflight %zu, max-queued %zu, weights %u,%u,%u)\n",
                  config.host.c_str(), server.port(),
                  config.jobs == 0
                      ? static_cast<std::size_t>(
@@ -217,7 +250,9 @@ int main(int argc, char** argv) {
                      : config.jobs,
                  config.use_cache ? server.cache()->disk_dir().c_str()
                                   : "off",
-                 config.max_inflight);
+                 config.max_inflight, config.max_queued,
+                 config.weights.interactive, config.weights.normal,
+                 config.weights.batch);
 
     server.wait();
     g_server = nullptr;
