@@ -142,8 +142,19 @@ RunReport Executor::execute(const RunRequest& request, RunControl* control,
     report.provenance.problem = request.problem;
     report.provenance.algorithm_key = request.algorithm;
     report.provenance.cache_key = key;
+    // Stamped on EVERY path (run, cache hit, cancelled) so a replayed
+    // report always echoes THIS request's trace, not the filler's.
+    report.provenance.trace_id = request.trace_id;
     if (ran && config_.cache != nullptr) {
       config_.cache->store(key, report);  // ignores cancelled partials
+    }
+    if (ran && config_.metrics != nullptr) {
+      config_.metrics
+          ->histogram("moela_run_seconds",
+                      "Wall time of executed (non-cached) runs by algorithm",
+                      util::exponential_bounds(0.001, 2.0, 16),
+                      {{"algorithm", request.algorithm}})
+          .observe(wall.elapsed_seconds());
     }
     if (config_.run_log != nullptr) {
       config_.run_log->append(request, report, wall.elapsed_seconds());

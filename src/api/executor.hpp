@@ -35,6 +35,7 @@
 #include "api/optimizer.hpp"
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
+#include "util/metrics.hpp"
 
 namespace moela::api {
 
@@ -49,6 +50,11 @@ struct ExecutorConfig {
   /// MOELA_RUN_LOG=<path> enables structured logs in any Executor-based
   /// tool without code changes.
   class RunLogger* run_log = nullptr;
+  /// Optional telemetry registry (not owned; must outlive the Executor).
+  /// Each executed (not cached) run observes its wall time into a
+  /// per-algorithm moela_run_seconds histogram. Telemetry only: nothing
+  /// here feeds back into reports or cache keys.
+  util::MetricsRegistry* metrics = nullptr;
   /// When false, no worker pool is spawned and submit()/run_all() refuse:
   /// the owner drives execute_one() from its own worker threads instead
   /// (serve::sched::Scheduler does this, so queue policy lives in one

@@ -166,6 +166,11 @@ struct RunProvenance {
   /// provenance only — like cache_hit it never affects the run's content,
   /// and it is deliberately absent from the cache key.
   std::string priority = "normal";
+  /// Correlation id of the submitting CLI/coordinator sweep; empty when
+  /// the caller minted none. Like `priority` this is transport provenance:
+  /// the Executor stamps the CURRENT request's id even on a cache hit, it
+  /// never affects run content, and it is absent from the cache key.
+  std::string trace_id;
   /// True when a stop was requested while this run was in flight (the
   /// report then covers only the evaluations up to the stop).
   bool cancelled = false;

@@ -50,6 +50,12 @@ struct RunRequest {
   /// Optional display label for progress/logs; label_or_default() falls
   /// back to "problem:algorithm:seed".
   std::string label;
+  /// Correlation id minted by the submitting CLI/coordinator
+  /// (util::mint_trace_id) and echoed through provenance, run logs, and
+  /// progress events. Transport metadata only: two requests differing only
+  /// in trace_id are the SAME work, so it is deliberately absent from
+  /// cache_key() and never alters report content.
+  std::string trace_id;
 
   /// Canonical content key of this request: identical requests — same
   /// problem instance, algorithm, budgets, seed, and knob values — map to

@@ -331,6 +331,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
     if (it != memory_.end() &&
         (!need_designs || !it->second.final_designs.empty())) {
       ++stats_.memory_hits;
+      if (metric_memory_hits_ != nullptr) metric_memory_hits_->add();
       RunReport hit = it->second;
       hit.provenance.cache_hit = true;
       return hit;
@@ -350,6 +351,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.disk_hits;
+        if (metric_disk_hits_ != nullptr) metric_disk_hits_->add();
         memory_.emplace(key, *report);
         return report;
       }
@@ -357,6 +359,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  if (metric_misses_ != nullptr) metric_misses_->add();
   return std::nullopt;
 }
 
@@ -366,6 +369,7 @@ void ResultCache::store(const std::string& key, const RunReport& report) {
     std::lock_guard<std::mutex> lock(mutex_);
     memory_.insert_or_assign(key, report);
     ++stats_.stores;
+    if (metric_stores_ != nullptr) metric_stores_->add();
   }
   if (dir_.empty()) return;
   std::error_code ec;
@@ -438,7 +442,32 @@ void ResultCache::enforce_disk_cap(const std::string& keep) {
   if (evicted > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.evictions += evicted;
+    if (metric_evictions_ != nullptr) metric_evictions_->add(evicted);
   }
+}
+
+void ResultCache::set_metrics(util::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metric_memory_hits_ = nullptr;
+    metric_disk_hits_ = nullptr;
+    metric_misses_ = nullptr;
+    metric_stores_ = nullptr;
+    metric_evictions_ = nullptr;
+    return;
+  }
+  const std::string lookups = "moela_cache_lookups_total";
+  const std::string lookups_help = "Result-cache lookups by outcome";
+  metric_memory_hits_ =
+      &metrics->counter(lookups, lookups_help, {{"result", "hit_memory"}});
+  metric_disk_hits_ =
+      &metrics->counter(lookups, lookups_help, {{"result", "hit_disk"}});
+  metric_misses_ =
+      &metrics->counter(lookups, lookups_help, {{"result", "miss"}});
+  metric_stores_ = &metrics->counter("moela_cache_stores_total",
+                                     "Reports stored into the result cache");
+  metric_evictions_ =
+      &metrics->counter("moela_cache_evictions_total",
+                        "Disk-tier entry files evicted by the size cap");
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "api/optimizer.hpp"
+#include "util/metrics.hpp"
 
 namespace moela::api {
 
@@ -76,6 +77,12 @@ class ResultCache {
   };
   Stats stats() const;
 
+  /// Attaches a telemetry registry (not owned; must outlive this cache).
+  /// Lookup/store/eviction outcomes then mirror into labeled counters
+  /// (moela_cache_*); handles resolve once here so the hot path stays an
+  /// atomic add. Call before concurrent use.
+  void set_metrics(util::MetricsRegistry* metrics);
+
   const std::string& disk_dir() const { return dir_; }
 
   /// FNV-1a 64-bit hex digest of `key` — the on-disk file stem.
@@ -91,6 +98,12 @@ class ResultCache {
   std::string dir_;
   std::uintmax_t max_disk_bytes_ = default_max_disk_bytes();
   Stats stats_;
+  /// Pre-resolved telemetry handles; null until set_metrics().
+  util::Counter* metric_memory_hits_ = nullptr;
+  util::Counter* metric_disk_hits_ = nullptr;
+  util::Counter* metric_misses_ = nullptr;
+  util::Counter* metric_stores_ = nullptr;
+  util::Counter* metric_evictions_ = nullptr;
 };
 
 namespace detail {

@@ -27,13 +27,17 @@ std::string timestamp_utc() {
 
 Json base_record(const RunRequest& request, double wall_seconds) {
   Json record = Json::object();
-  record.set("time", timestamp_utc())
+  // "v" versions the record shape itself: bump it when fields change
+  // meaning or type, so log consumers can branch instead of guessing.
+  record.set("v", std::uint64_t{1})
+      .set("time", timestamp_utc())
       .set("label", request.label_or_default())
       .set("problem", request.problem)
       .set("algorithm", request.algorithm)
       .set("seed", request.options.seed)
       .set("evals_budget", request.options.max_evaluations)
       .set("wall_seconds", wall_seconds);
+  if (!request.trace_id.empty()) record.set("trace", request.trace_id);
   return record;
 }
 

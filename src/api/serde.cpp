@@ -185,7 +185,8 @@ Json request_to_json(const RunRequest& request) {
       .set("algorithm", request.algorithm)
       .set("options", std::move(options))
       .set("need_designs", request.need_designs)
-      .set("label", request.label);
+      .set("label", request.label)
+      .set("trace", request.trace_id);
   return out;
 }
 
@@ -221,6 +222,8 @@ RunRequest request_from_json(const Json& json) {
   }
   read_bool(json, "need_designs", request.need_designs);
   read_string(json, "label", request.label);
+  // Absent on pre-telemetry wire peers: the empty default stands.
+  read_string(json, "trace", request.trace_id);
   return request;
 }
 
@@ -243,7 +246,8 @@ Json report_to_json(const RunReport& report) {
       .set("cache_key", p.cache_key)
       .set("cache_hit", p.cache_hit)
       .set("cancelled", p.cancelled)
-      .set("priority", p.priority);
+      .set("priority", p.priority)
+      .set("trace", p.trace_id);
 
   Json out = Json::object();
   out.set("algorithm", report.algorithm)
@@ -296,6 +300,8 @@ RunReport report_from_json(const Json& json) {
     read_bool(*provenance, "cancelled", p.cancelled);
     // Absent on pre-scheduler wire peers: the default ("normal") stands.
     read_string(*provenance, "priority", p.priority);
+    // Absent on pre-telemetry wire peers: the empty default stands.
+    read_string(*provenance, "trace", p.trace_id);
   }
   return report;
 }

@@ -59,6 +59,21 @@ void run_shard(const ShardedExecutorConfig& config,
                const std::vector<RunRequest>& requests,
                std::vector<RunReport>& reports, SharedState& shared,
                RunControl* control) {
+  // Per-endpoint dispatch/requeue tallies; resolved once per shard thread
+  // so the loop below only touches atomics. Telemetry only.
+  util::Counter* placed = nullptr;
+  util::Counter* requeued = nullptr;
+  if (config.metrics != nullptr) {
+    placed = &config.metrics->counter(
+        "moela_shard_placed_total",
+        "Requests dispatched to each shard endpoint (retries included)",
+        {{"endpoint", endpoint.to_string()}});
+    requeued = &config.metrics->counter(
+        "moela_shard_requeued_total",
+        "Requests handed back to the pool after a shard failure",
+        {{"endpoint", endpoint.to_string()}});
+  }
+
   serve::Client client;
   try {
     client.connect(endpoint.host, endpoint.port);
@@ -70,6 +85,7 @@ void run_shard(const ShardedExecutorConfig& config,
     stats.failures += 1;
     stats.error = e.what();
     shared.owned_total -= shared.owned[shard].size();
+    if (requeued != nullptr) requeued->add(shared.owned[shard].size());
     for (const std::size_t i : shared.owned[shard]) {
       shared.pending.push_back(i);
     }
@@ -121,6 +137,7 @@ void run_shard(const ShardedExecutorConfig& config,
       }
     }
 
+    if (placed != nullptr) placed->add(chunk.size());
     std::vector<RunRequest> batch;
     batch.reserve(chunk.size());
     for (const std::size_t i : chunk) batch.push_back(requests[i]);
@@ -206,6 +223,7 @@ void run_shard(const ShardedExecutorConfig& config,
       std::lock_guard<std::mutex> lock(shared.mutex);
       stats.failures += 1;
       stats.error = error;
+      std::uint64_t handed_back = 0;
       for (const std::size_t i : chunk) {
         shared.request_error[i] = error;
         if (chunk.size() > 1) {
@@ -218,10 +236,12 @@ void run_shard(const ShardedExecutorConfig& config,
           // bounded by one solo round.
           shared.solo[i] = 1;
           shared.pending.push_back(i);
+          ++handed_back;
         } else if (++shared.attempts[i] >= config.max_attempts) {
           shared.failed[i] = 1;
         } else {
           shared.pending.push_back(i);
+          ++handed_back;
         }
       }
       if (transport) {
@@ -230,9 +250,11 @@ void run_shard(const ShardedExecutorConfig& config,
         // attempted, so those requests' attempt counts do not advance.
         std::deque<std::size_t>& own = shared.owned[shard];
         shared.owned_total -= own.size();
+        handed_back += own.size();
         for (const std::size_t i : own) shared.pending.push_back(i);
         own.clear();
       }
+      if (requeued != nullptr && handed_back > 0) requeued->add(handed_back);
       shared.inflight -= chunk.size();
       shared.work_cv.notify_all();
     }

@@ -60,6 +60,7 @@
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
 #include "serve/sched/policy.hpp"
+#include "util/metrics.hpp"
 
 namespace moela::api {
 
@@ -123,6 +124,10 @@ struct ShardedExecutorConfig {
   /// under one class everywhere. Scheduling only: reports stay
   /// bit-identical to inline execution whatever the class.
   serve::sched::Priority priority = serve::sched::Priority::kNormal;
+  /// Optional telemetry registry (not owned; must outlive run_all).
+  /// Requests dispatched to and requeued from each endpoint count into
+  /// per-endpoint moela_shard_placed_total / moela_shard_requeued_total.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-shard outcome of the last run_all(), index-aligned with

@@ -262,6 +262,20 @@ Json Client::cache_stats() {
   return transact(std::move(message), nullptr);
 }
 
+Json Client::metrics() {
+  Json message = Json::object();
+  message.set("verb", "metrics");
+  Json response = transact(std::move(message), nullptr);
+  if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool()) {
+    const Json* error = response.find("error");
+    throw RemoteError(where() + ": " +
+                      (error != nullptr && error->is_string()
+                           ? error->as_string()
+                           : "metrics probe rejected"));
+  }
+  return response;
+}
+
 void Client::shutdown_server() {
   Json message = Json::object();
   message.set("verb", "shutdown");

@@ -116,6 +116,10 @@ class Client {
   std::vector<std::string> list_problems();
   /// The daemon's cache/runs counters (cache_stats verb).
   util::Json cache_stats();
+  /// Full telemetry snapshot (metrics verb): the daemon's MetricsRegistry
+  /// as JSON plus uptime_seconds/version. Throws RemoteError when the
+  /// daemon predates the verb.
+  util::Json metrics();
   /// Asks the daemon to drain and exit.
   void shutdown_server();
 

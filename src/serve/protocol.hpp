@@ -16,6 +16,14 @@
 //                                  runs_handled, runs_cancelled, accepting,
 //                                  cache counters); api::ShardedExecutor
 //                                  probes it for placement
+//   {"id":9,"verb":"metrics"}    — full telemetry snapshot (the
+//                                  MetricsRegistry's JSON form: per-verb
+//                                  request counters/latency, per-class
+//                                  queue waits, cache and shard counters,
+//                                  per-algorithm run times) plus
+//                                  uptime_seconds and version. The same
+//                                  numbers scrape as Prometheus text via
+//                                  moela_serve --metrics-dump.
 //   {"id":7,"verb":"cancel","target":5}
 //                                — stop the in-flight "run" batch submitted
 //                                  with id 5 ON THIS CONNECTION. Idempotent
@@ -32,11 +40,17 @@
 //
 //   * streamed events while a "run" is in flight (an "event" field is
 //     present; "progress" fires at the snapshot cadence only when the
-//     request asked for it, "finished" fires once per completed run):
+//     request asked for it, "finished" fires once per completed run).
+//     Every event carries "elapsed_ms" (server-side monotonic time since
+//     the batch was admitted, so clients can spot a stalled run without
+//     local bookkeeping) and, when the submitting client minted one, the
+//     batch's "trace" id:
 //       {"id":5,"event":"progress","label":...,"algorithm":...,
-//        "evaluations":...,"max_evaluations":...,"seconds":...}
+//        "evaluations":...,"max_evaluations":...,"seconds":...,
+//        "elapsed_ms":...,"trace":"9f2c..."}
 //       {"id":5,"event":"finished","label":...,"completed":k,"total":n,
-//        "evaluations":...,"seconds":...,"cache_hit":false}
+//        "evaluations":...,"seconds":...,"cache_hit":false,
+//        "elapsed_ms":...,"trace":"9f2c..."}
 //   * exactly one final response ("ok" present, no "event"):
 //       {"id":5,"ok":true,"reports":[<RunReport JSON>|{"error":...},...]}
 //       {"id":5,"ok":false,"error":"..."}
@@ -61,6 +75,12 @@ inline constexpr int kDefaultPort = 7313;
 /// Protocol revision, reported by the "ping" verb. Bump on breaking wire
 /// changes.
 inline constexpr int kProtocolVersion = 1;
+
+/// Build/schema version string, reported by the "health" and "metrics"
+/// verbs so an operator can tell which build a long-lived daemon runs.
+/// Tracks the PR sequence growing this repo, not kProtocolVersion (which
+/// only moves on breaking wire changes).
+inline constexpr const char* kServerVersion = "0.8.0";
 
 /// Upper bound on one framed line (requests can carry whole batches, and
 /// responses whole report sets, so this is generous).

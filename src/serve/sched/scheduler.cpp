@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/timer.hpp"
+
 namespace moela::serve::sched {
 namespace {
 
@@ -18,12 +20,25 @@ struct Job {
   std::size_t index = 0;
   std::shared_ptr<api::Executor::BatchState> batch;
   std::promise<api::RunReport> promise;
+  /// Started at admission; read when a worker dequeues the run, so the
+  /// per-class queue-wait histogram measures time spent waiting, not
+  /// running.
+  util::Timer queued_at;
 };
 
 }  // namespace
 
 Scheduler::Scheduler(api::Executor& executor, SchedulerConfig config)
     : config_(config), executor_(executor), queue_(config.weights) {
+  if (config_.metrics != nullptr) {
+    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+      queue_wait_[cls] = &config_.metrics->histogram(
+          "moela_sched_queue_wait_seconds",
+          "Admission-to-dispatch wait of scheduled runs by priority class",
+          util::exponential_bounds(0.001, 4.0, 12),
+          {{"class", priority_name(static_cast<Priority>(cls))}});
+    }
+  }
   std::size_t workers = config_.workers;
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
@@ -83,6 +98,9 @@ Scheduler::Admission Scheduler::submit(std::vector<api::RunRequest> requests,
       // report must never read a snapshot still counting that run as
       // running — the health verb is how clients observe the scheduler.
       item.work = [this, job, cls] {
+        if (queue_wait_[cls] != nullptr) {
+          queue_wait_[cls]->observe(job->queued_at.elapsed_seconds());
+        }
         try {
           api::RunReport report = executor_.execute_one(
               job->request, job->control, job->index, job->batch);

@@ -32,6 +32,7 @@
 #include "api/request.hpp"
 #include "serve/sched/policy.hpp"
 #include "serve/sched/queue.hpp"
+#include "util/metrics.hpp"
 
 namespace moela::serve::sched {
 
@@ -44,6 +45,10 @@ struct SchedulerConfig {
   /// classes. A batch that would push past it is shed whole. Running runs
   /// do not count — capacity in flight is not backlog.
   std::size_t max_queued = 1024;
+  /// Optional telemetry registry (not owned; must outlive the Scheduler).
+  /// Each dispatched run observes its admission-to-start queue wait into a
+  /// per-class moela_sched_queue_wait_seconds histogram.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 class Scheduler {
@@ -102,6 +107,8 @@ class Scheduler {
 
   SchedulerConfig config_;
   api::Executor& executor_;
+  /// Pre-resolved per-class queue-wait histograms; null without a registry.
+  util::Histogram* queue_wait_[kNumClasses] = {};
   std::vector<std::thread> workers_;
 
   mutable std::mutex mutex_;

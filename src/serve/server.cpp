@@ -71,15 +71,43 @@ Server::Server(ServeConfig config)
   executor_config.jobs = config_.jobs;
   executor_config.cache = config_.use_cache ? &cache_ : nullptr;
   executor_config.run_log = config_.run_log;
+  executor_config.metrics = &metrics_;
   // The scheduler brings the worker pool; the Executor contributes its
   // execute path (cache, run-log, provenance) through execute_one.
   executor_config.pool = false;
   executor_ = std::make_unique<api::Executor>(executor_config);
+  if (config_.use_cache) cache_.set_metrics(&metrics_);
   sched::SchedulerConfig sched_config;
   sched_config.workers = executor_->jobs();
   sched_config.weights = config_.weights;
   sched_config.max_queued = config_.max_queued;
+  sched_config.metrics = &metrics_;
   scheduler_ = std::make_unique<sched::Scheduler>(*executor_, sched_config);
+
+  // Pre-resolve the per-verb dispatch telemetry for the protocol's fixed
+  // verb set; handle_line then only touches atomics. Anything else (typos,
+  // garbage lines) shares the "other" series so clients cannot grow label
+  // cardinality.
+  const char* request_help = "Protocol requests handled by verb";
+  const char* latency_help = "Line-handling latency by verb, seconds (for "
+                             "'run': admission + dispatch, not run time)";
+  const std::vector<double> latency_bounds =
+      util::exponential_bounds(1e-5, 4.0, 12);
+  for (const char* verb :
+       {"ping", "list_algorithms", "list_problems", "cache_stats", "health",
+        "metrics", "run", "cancel", "shutdown", "other"}) {
+    VerbMetrics vm;
+    vm.requests =
+        &metrics_.counter("moela_requests_total", request_help,
+                          {{"verb", verb}});
+    vm.seconds = &metrics_.histogram("moela_request_seconds", latency_help,
+                                     latency_bounds, {{"verb", verb}});
+    if (std::string(verb) == "other") {
+      other_verb_metrics_ = vm;
+    } else {
+      verb_metrics_.emplace(verb, vm);
+    }
+  }
 }
 
 Server::~Server() {
@@ -135,6 +163,7 @@ void Server::start() {
   }
 
   started_ = true;
+  started_at_.reset();  // uptime counts from a successful bind
   accept_thread_ = std::thread([this] { accept_loop(); });
   watcher_thread_ = std::thread([this] { watcher_loop(); });
 }
@@ -281,6 +310,11 @@ void Server::serve_connection(const std::shared_ptr<Connection>& connection) {
 
 void Server::handle_line(const std::shared_ptr<Connection>& connection,
                          const std::string& line) {
+  util::Timer verb_timer;
+  auto observe = [&](const VerbMetrics& vm) {
+    if (vm.requests != nullptr) vm.requests->add();
+    if (vm.seconds != nullptr) vm.seconds->observe(verb_timer.elapsed_seconds());
+  };
   std::string parse_error;
   const auto message = Json::try_parse(line, &parse_error);
   auto respond = [&](const Json& response) {
@@ -289,17 +323,30 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
   };
   if (!message.has_value()) {
     respond(make_error(0, "bad JSON: " + parse_error));
+    observe(other_verb_metrics_);
     return;
   }
   const std::uint64_t id = message_id(*message);
   if (!message->is_object()) {
     respond(make_error(id, "request must be a JSON object"));
+    observe(other_verb_metrics_);
     return;
   }
   std::string verb;
   if (const Json* v = message->find("verb"); v != nullptr && v->is_string()) {
     verb = v->as_string();
   }
+  // Latency is observed on EVERY exit path below (the guard fires on
+  // return); for "run" it measures admission + dispatch — run wall time
+  // has its own histogram (moela_run_seconds).
+  const auto vm_it = verb_metrics_.find(verb);
+  const VerbMetrics& vm =
+      vm_it == verb_metrics_.end() ? other_verb_metrics_ : vm_it->second;
+  struct LatencyGuard {
+    decltype(observe)& fire;
+    const VerbMetrics& vm;
+    ~LatencyGuard() { fire(vm); }
+  } latency_guard{observe, vm};
 
   if (verb == "ping") {
     Json response = make_ok(id);
@@ -347,6 +394,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
     Json response = make_ok(id);
     response.set("server", "moela_serve")
         .set("protocol", kProtocolVersion)
+        .set("version", kServerVersion)
+        .set("uptime_seconds", uptime_seconds())
         .set("jobs", static_cast<std::uint64_t>(executor_->jobs()))
         .set("inflight", static_cast<std::uint64_t>(inflight_total()))
         .set("max_inflight",
@@ -360,6 +409,16 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
         .set("runs_cancelled", runs_cancelled())
         .set("accepting", !shutdown_requested())
         .set("cache", std::move(cache));
+    respond(response);
+  } else if (verb == "metrics") {
+    // The registry's JSON snapshot, plus the same identity/uptime header
+    // as health so one verb suffices for a scraper.
+    Json response = make_ok(id);
+    response.set("server", "moela_serve")
+        .set("protocol", kProtocolVersion)
+        .set("version", kServerVersion)
+        .set("uptime_seconds", uptime_seconds())
+        .set("metrics", metrics_.snapshot_json());
     respond(response);
   } else if (verb == "run") {
     handle_run(connection, id, *message);
@@ -488,10 +547,16 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
   // verb immediately after the run line, and the reader must find the
   // control no matter how the threads interleave.
   auto control = std::make_shared<api::RunControl>();
+  // The batch's trace id (every request in a batch carries the same one)
+  // and admission clock, echoed on every streamed event: "trace" lets an
+  // operator grep a sweep across the fleet, "elapsed_ms" (server-side,
+  // monotonic) lets a client spot a stalled run without local bookkeeping.
+  const std::string trace = requests.front().trace_id;
+  auto admitted = std::make_shared<util::Timer>();
   // The progress callback likewise goes in BEFORE the first run can
   // start, or early events would be lost.
-  control->on_progress([connection, id, labels,
-                        stream_progress](const api::RunProgress& progress) {
+  control->on_progress([connection, id, labels, stream_progress, trace,
+                        admitted](const api::RunProgress& progress) {
     if (!progress.finished && !stream_progress) return;
     Json event = Json::object();
     event.set("id", id)
@@ -503,7 +568,9 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
         .set("algorithm", progress.algorithm)
         .set("evaluations", progress.evaluations)
         .set("max_evaluations", progress.max_evaluations)
-        .set("seconds", progress.seconds);
+        .set("seconds", progress.seconds)
+        .set("elapsed_ms", admitted->elapsed_ms());
+    if (!trace.empty()) event.set("trace", trace);
     if (progress.finished) {
       event.set("completed", progress.completed)
           .set("total", progress.batch_size)

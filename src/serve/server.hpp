@@ -57,6 +57,8 @@
 #include "serve/sched/policy.hpp"
 #include "serve/sched/scheduler.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace moela::serve {
 
@@ -152,6 +154,21 @@ class Server {
   /// observers read the same numbers off the health verb).
   const sched::Scheduler& scheduler() const { return *scheduler_; }
 
+  /// The daemon's telemetry registry. Every layer (verb dispatch, the
+  /// scheduler, the cache, the Executor) feeds it; the `metrics` verb
+  /// snapshots it as JSON and metrics_text() as Prometheus exposition
+  /// (moela_serve --metrics-dump). Telemetry only — nothing here touches
+  /// cache keys or report bytes.
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+  std::string metrics_text() const { return metrics_.prometheus_text(); }
+
+  /// Monotonic seconds since start() (0 before it): the health verb's
+  /// uptime_seconds, so operators can tell a fresh (cold-cache) daemon
+  /// from a long-lived one.
+  double uptime_seconds() const {
+    return started_ ? started_at_.elapsed_seconds() : 0.0;
+  }
+
  private:
   struct Connection {
     Connection(int fd, std::uint64_t lane) : fd(fd), lane(lane) {}
@@ -205,6 +222,21 @@ class Server {
   void reap_connections();
 
   ServeConfig config_;
+  /// Declared before cache_/executor_/scheduler_ (so it is destroyed
+  /// after them): they hold handles into it.
+  util::MetricsRegistry metrics_;
+  /// Pre-resolved per-verb telemetry: handle_line looks the verb up here
+  /// and touches only atomics, keeping the dispatch path lock-free. Verbs
+  /// outside the protocol's fixed set share the "other" series so a
+  /// misbehaving client cannot grow label cardinality.
+  struct VerbMetrics {
+    util::Counter* requests = nullptr;
+    util::Histogram* seconds = nullptr;
+  };
+  std::map<std::string, VerbMetrics> verb_metrics_;
+  VerbMetrics other_verb_metrics_;
+  /// Monotonic clock started by start(): the health verb's uptime.
+  util::Timer started_at_;
   api::ResultCache cache_;
   std::unique_ptr<api::Executor> executor_;
   /// Declared after executor_ (and destroyed before it): the scheduler's

@@ -119,6 +119,12 @@ TEST(CacheKeyGolden, EveryFieldSeparatesKeys) {
   RunRequest labeled = base;
   labeled.label = "pretty name";
   EXPECT_EQ(labeled.cache_key(), base_key);
+  // The trace id is transport provenance: two requests differing only in
+  // trace are the SAME work, so it must never feed the key (a per-invocation
+  // id in the key would defeat the cache entirely).
+  RunRequest traced = base;
+  traced.trace_id = "00deadbeef00cafe";
+  EXPECT_EQ(traced.cache_key(), base_key);
 }
 
 }  // namespace

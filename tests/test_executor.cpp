@@ -563,6 +563,9 @@ TEST(Executor, RunLogWritesOneJsonlRecordPerRun) {
   RunRequest bad = zdt1_request("moela", 7);
   bad.algorithm = "no-such-algorithm";
   requests.push_back(bad);
+  for (RunRequest& request : requests) {
+    request.trace_id = "00deadbeef00cafe";
+  }
 
   ExecutorConfig config;
   config.jobs = 2;
@@ -579,6 +582,14 @@ TEST(Executor, RunLogWritesOneJsonlRecordPerRun) {
   std::size_t ok_records = 0, error_records = 0;
   while (std::getline(in, line)) {
     const util::Json record = util::Json::parse(line);  // valid JSON/line
+    // Every record is versioned, timestamped (ISO-8601), and — when the
+    // request carried one — trace-correlated, ok and error alike.
+    EXPECT_EQ(record.find("v")->as_u64(), 1u);
+    const std::string time = record.find("time")->as_string();
+    EXPECT_EQ(time.size(), std::string("2026-01-01T00:00:00Z").size());
+    EXPECT_EQ(time.back(), 'Z');
+    ASSERT_NE(record.find("trace"), nullptr);
+    EXPECT_EQ(record.find("trace")->as_string(), "00deadbeef00cafe");
     const std::string status = record.find("status")->as_string();
     if (status == "ok") {
       ++ok_records;

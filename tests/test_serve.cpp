@@ -203,6 +203,10 @@ TEST(Serve, HealthVerbReportsLoadAndCounters) {
   EXPECT_EQ(cold.find("inflight")->as_u64(), 0u);
   EXPECT_EQ(cold.find("runs_handled")->as_u64(), 0u);
   EXPECT_GE(cold.find("jobs")->as_u64(), 1u);
+  // Fleet operators tell builds and fresh (cold-cache) daemons apart by
+  // these two fields.
+  EXPECT_EQ(cold.find("version")->as_string(), kServerVersion);
+  EXPECT_GE(cold.find("uptime_seconds")->as_double(), 0.0);
   ASSERT_NE(cold.find("cache"), nullptr);
   EXPECT_FALSE(cold.find("cache")->find("enabled")->as_bool());
 
@@ -216,14 +220,23 @@ TEST(Serve, HealthVerbReportsLoadAndCounters) {
 
 TEST(Serve, StreamsProgressAndFinishedEvents) {
   ServerFixture fixture;
-  const std::vector<api::RunRequest> requests = {zdt1_request("moela"),
-                                                 zdt1_request("nsga2")};
+  std::vector<api::RunRequest> requests = {zdt1_request("moela"),
+                                           zdt1_request("nsga2")};
+  for (api::RunRequest& request : requests) {
+    request.trace_id = "00deadbeef00cafe";
+  }
   std::atomic<std::size_t> progress_events{0};
   std::atomic<std::size_t> finished_events{0};
   fixture.client.run(requests, /*stream_progress=*/true,
                      [&](const Json& event) {
                        const std::string kind =
                            event.find("event")->as_string();
+                       // Every event carries the server-side monotonic
+                       // elapsed_ms and the batch's trace id.
+                       ASSERT_NE(event.find("elapsed_ms"), nullptr);
+                       ASSERT_NE(event.find("trace"), nullptr);
+                       EXPECT_EQ(event.find("trace")->as_string(),
+                                 "00deadbeef00cafe");
                        if (kind == "finished") {
                          ++finished_events;
                          EXPECT_EQ(event.find("total")->as_u64(), 2u);
@@ -443,6 +456,128 @@ TEST(Serve, PriorityIsEchoedInProvenanceEvenOnCacheReplay) {
   // The unlabeled verb defaults to normal.
   const api::RunReport unlabeled = fixture.client.run(requests).front();
   EXPECT_EQ(unlabeled.provenance.priority, "normal");
+}
+
+TEST(Serve, TraceIsEchoedInProvenanceEvenOnCacheReplay) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "moela-serve-trace";
+  std::filesystem::remove_all(dir);
+  ServeConfig config;
+  config.use_cache = true;
+  config.cache_dir = dir.string();
+  ServerFixture fixture(config);
+
+  std::vector<api::RunRequest> requests = {zdt1_request("moela")};
+  requests.front().trace_id = "1111111111111111";
+  const api::RunReport cold = fixture.client.run(requests).front();
+  EXPECT_FALSE(cold.provenance.cache_hit);
+  EXPECT_EQ(cold.provenance.trace_id, "1111111111111111");
+
+  // The replay answers from the cache, but the trace echoed is THIS
+  // request's — like priority, trace is transport provenance: it never
+  // entered the cache key and never alters run content.
+  requests.front().trace_id = "2222222222222222";
+  const api::RunReport warm = fixture.client.run(requests).front();
+  EXPECT_TRUE(warm.provenance.cache_hit);
+  EXPECT_EQ(warm.provenance.trace_id, "2222222222222222");
+  EXPECT_EQ(warm.provenance.cache_key, cold.provenance.cache_key);
+  // And the reports themselves are bit-identical: the differing trace
+  // lives in provenance only.
+  expect_equal_modulo_cache(cold, warm);
+
+  // No trace minted -> no trace echoed (pre-telemetry clients see no new
+  // fields).
+  requests.front().trace_id.clear();
+  const api::RunReport untraced = fixture.client.run(requests).front();
+  EXPECT_TRUE(untraced.provenance.trace_id.empty());
+}
+
+TEST(Serve, MetricsVerbSnapshotsCountersAndLatency) {
+  ServerFixture fixture;
+  fixture.client.ping();
+  fixture.client.run({zdt1_request("moela"), zdt1_request("nsga2")});
+
+  const Json response = fixture.client.metrics();
+  EXPECT_TRUE(response.find("ok")->as_bool());
+  EXPECT_EQ(response.find("version")->as_string(), kServerVersion);
+  EXPECT_GE(response.find("uptime_seconds")->as_double(), 0.0);
+
+  const Json* metrics = response.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+
+  // Per-verb request counters: exactly the traffic this test generated.
+  const Json* requests_total = metrics->find("moela_requests_total");
+  ASSERT_NE(requests_total, nullptr);
+  std::uint64_t ping_count = 0, run_count = 0;
+  for (const Json& series : requests_total->find("series")->as_array()) {
+    const std::string verb =
+        series.find("labels")->find("verb")->as_string();
+    if (verb == "ping") ping_count = series.find("value")->as_u64();
+    if (verb == "run") run_count = series.find("value")->as_u64();
+  }
+  EXPECT_EQ(ping_count, 1u);
+  EXPECT_EQ(run_count, 1u);
+
+  // Per-verb latency histograms ride alongside the counters. (Counts
+  // observe at dispatch end, so this snapshot excludes the in-flight
+  // metrics request itself.)
+  const Json* latency = metrics->find("moela_request_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("type")->as_string(), "histogram");
+
+  // Per-algorithm wall-time histograms: one executed run per algorithm.
+  const Json* run_seconds = metrics->find("moela_run_seconds");
+  ASSERT_NE(run_seconds, nullptr);
+  std::uint64_t observed_runs = 0;
+  for (const Json& series : run_seconds->find("series")->as_array()) {
+    observed_runs += series.find("count")->as_u64();
+  }
+  EXPECT_EQ(observed_runs, 2u);
+
+  // Per-class queue-wait histograms exist for all three classes from
+  // startup (pre-resolved handles), and the normal class saw this batch.
+  const Json* queue_wait = metrics->find("moela_sched_queue_wait_seconds");
+  ASSERT_NE(queue_wait, nullptr);
+  std::uint64_t normal_waits = 0;
+  for (const Json& series : queue_wait->find("series")->as_array()) {
+    if (series.find("labels")->find("class")->as_string() == "normal") {
+      normal_waits = series.find("count")->as_u64();
+    }
+  }
+  EXPECT_EQ(normal_waits, 2u);
+}
+
+TEST(Serve, MetricsCountCacheTraffic) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "moela-serve-metric-cache";
+  std::filesystem::remove_all(dir);
+  ServeConfig config;
+  config.use_cache = true;
+  config.cache_dir = dir.string();
+  ServerFixture fixture(config);
+
+  fixture.client.run({zdt1_request("moela")});  // miss + store
+  fixture.client.run({zdt1_request("moela")});  // memory hit
+
+  const Json response = fixture.client.metrics();
+  const Json* lookups =
+      response.find("metrics")->find("moela_cache_lookups_total");
+  ASSERT_NE(lookups, nullptr);
+  std::uint64_t misses = 0, memory_hits = 0;
+  for (const Json& series : lookups->find("series")->as_array()) {
+    const std::string result =
+        series.find("labels")->find("result")->as_string();
+    if (result == "miss") misses = series.find("value")->as_u64();
+    if (result == "hit_memory") memory_hits = series.find("value")->as_u64();
+  }
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(memory_hits, 1u);
+  const Json* stores =
+      response.find("metrics")->find("moela_cache_stores_total");
+  ASSERT_NE(stores, nullptr);
+  EXPECT_EQ(
+      stores->find("series")->as_array().front().find("value")->as_u64(),
+      1u);
 }
 
 TEST(Serve, MalformedPriorityIsRejected) {

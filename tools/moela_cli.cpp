@@ -66,6 +66,7 @@
 #include "serve/protocol.hpp"
 #include "serve/sched/policy.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 using namespace moela;
@@ -96,6 +97,7 @@ struct CliOptions {
   serve::sched::Priority priority = serve::sched::Priority::kNormal;
   bool priority_set = false;
   bool remote_shutdown = false;  // with --connect: drain the daemon(s)
+  bool show_metrics = false;  // with --connect: print telemetry snapshots
   bool list = false;
   bool help = false;
 };
@@ -155,6 +157,10 @@ void print_usage(std::FILE* to) {
                "                     see docs/scheduling.md)\n"
                "  --shutdown         with --connect: ask the daemon(s) to "
                "drain and exit\n"
+               "  --metrics          with --connect: print each daemon's "
+               "telemetry\n"
+               "                     snapshot (metrics verb) as one JSON "
+               "line, then exit\n"
                "  --progress         stream in-run progress at the snapshot "
                "cadence\n"
                "  --out PATH         write the front CSV(s) to PATH instead "
@@ -318,6 +324,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       cli.priority_set = true;
     } else if (arg == "--shutdown") {
       cli.remote_shutdown = true;
+    } else if (arg == "--metrics") {
+      cli.show_metrics = true;
     } else if (arg == "--out") {
       if ((v = need_value(i, "--out")) == nullptr) return std::nullopt;
       cli.out_path = v;
@@ -342,7 +350,11 @@ void write_provenance(std::ostream& out, const api::RunReport& report) {
       << " seed=" << p.seed << " evaluations=" << report.evaluations
       << " seconds=" << report.seconds
       << " cache=" << (p.cache_hit ? "hit" : "miss")
-      << " cancelled=" << (p.cancelled ? 1 : 0) << "\n";
+      << " cancelled=" << (p.cancelled ? 1 : 0);
+  // Trace lives in the '#' comment only: CI diffs fronts with grep -v '^#',
+  // so per-invocation ids never break bit-identity checks on the data rows.
+  if (!p.trace_id.empty()) out << " trace=" << p.trace_id;
+  out << "\n";
   if (!p.knobs.empty()) {
     out << "# knobs";
     for (const auto& [name, value] : p.knobs) {
@@ -438,8 +450,15 @@ void warn_unknown_knobs(const CliOptions& cli) {
   }
 }
 
-/// Builds the batch: (app x algorithm x replicate), in output order.
+/// Builds the batch: (app x algorithm x replicate), in output order. Every
+/// request carries ONE freshly minted trace id for the whole invocation —
+/// the correlation handle that the daemons echo into provenance, JSONL run
+/// logs, and progress events (and that write_provenance prints), so a
+/// fleet-wide sweep can be grepped end to end. Announced on stderr up
+/// front, before any runs start.
 std::vector<api::RunRequest> build_requests(const CliOptions& cli) {
+  const std::string trace = util::mint_trace_id();
+  std::fprintf(stderr, "moela_cli: trace %s\n", trace.c_str());
   std::vector<std::string> apps = cli.apps;
   if (apps.empty()) apps.push_back(cli.problem_options.app);
   std::vector<api::RunRequest> requests;
@@ -454,6 +473,7 @@ std::vector<api::RunRequest> build_requests(const CliOptions& cli) {
       base.label = cli.problem +
                    (cli.problem == "noc" ? ":" + app : std::string()) + ":" +
                    algorithm;
+      base.trace_id = trace;
       for (auto& request : api::expand_replicates(base, cli.replicates)) {
         request.label += ":seed" + std::to_string(request.options.seed);
         requests.push_back(std::move(request));
@@ -594,6 +614,35 @@ int write_outputs(const CliOptions& cli,
                  cli.trace_path.c_str());
   }
   return cancelled > 0 ? 130 : 0;
+}
+
+/// --metrics: scrape every --connect endpoint's telemetry snapshot (the
+/// metrics verb) and print one JSON line per daemon to stdout, so a quick
+/// fleet health check is `moela_cli --connect a --connect b --metrics | jq`.
+/// Unreachable daemons are reported on stderr and make the exit non-zero,
+/// but do not stop the remaining endpoints from being scraped.
+int show_fleet_metrics(const CliOptions& cli) {
+  int exit_code = 0;
+  for (const std::string& spec : cli.connect) {
+    std::string host;
+    int port = 0;
+    if (!serve::parse_host_port(spec, host, port)) {
+      std::fprintf(stderr, "moela_cli: bad --connect '%s' (want host:port)\n",
+                   spec.c_str());
+      return 2;
+    }
+    try {
+      serve::Client client;
+      client.connect(host, port);
+      util::Json snapshot = client.metrics();
+      snapshot.set("endpoint", host + ":" + std::to_string(port));
+      std::printf("%s\n", snapshot.dump().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "moela_cli: %s\n", e.what());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
 }
 
 /// The single --connect path: same flags, same outputs, but the batch
@@ -804,6 +853,14 @@ int main(int argc, char** argv) {
   if (cli.remote_shutdown && cli.connect.empty()) {
     std::fprintf(stderr, "moela_cli: --shutdown needs --connect\n");
     return 2;
+  }
+  if (cli.show_metrics) {
+    if (cli.connect.empty()) {
+      std::fprintf(stderr, "moela_cli: --metrics needs --connect (the "
+                           "registry lives in the daemon)\n");
+      return 2;
+    }
+    return show_fleet_metrics(cli);
   }
   if (cli.shard_policy_set && cli.connect.empty()) {
     std::fprintf(stderr, "moela_cli: --shard-policy needs --connect\n");

@@ -40,6 +40,7 @@ namespace {
 struct ServeCliOptions {
   serve::ServeConfig config;
   std::string run_log_path;
+  std::string metrics_dump_path;  // empty = no exposition file at drain
   bool help = false;
 };
 
@@ -76,11 +77,16 @@ void print_usage(std::FILE* to) {
                "  --run-log PATH     append one JSONL record per completed "
                "run\n"
                "                     (default $MOELA_RUN_LOG)\n"
+               "  --metrics-dump PATH  write the final telemetry snapshot "
+               "as Prometheus\n"
+               "                     text exposition to PATH at drain "
+               "(live scraping\n"
+               "                     uses the 'metrics' verb instead)\n"
                "  --help             this text\n"
                "\n"
                "Protocol: line-delimited JSON over TCP; verbs: ping, run,\n"
                "cancel, list_algorithms, list_problems, cache_stats, "
-               "health,\nshutdown. See docs/protocol.md.\n",
+               "health,\nmetrics, shutdown. See docs/protocol.md.\n",
                serve::kDefaultPort);
 }
 
@@ -175,6 +181,11 @@ std::optional<ServeCliOptions> parse_args(
     } else if (arg == "--run-log") {
       if ((v = need_value(i, "--run-log")) == nullptr) return std::nullopt;
       cli.run_log_path = v;
+    } else if (arg == "--metrics-dump") {
+      if ((v = need_value(i, "--metrics-dump")) == nullptr) {
+        return std::nullopt;
+      }
+      cli.metrics_dump_path = v;
     } else {
       std::fprintf(stderr, "moela_serve: unknown flag '%s'\n", arg.c_str());
       return std::nullopt;
@@ -256,6 +267,23 @@ int main(int argc, char** argv) {
 
     server.wait();
     g_server = nullptr;
+    // The drain-time exposition file: everything the daemon counted over
+    // its whole life, in the same text format a live scrape of the
+    // `metrics` verb would render. Written after wait() so the last
+    // batch's observations are included.
+    if (!parsed->metrics_dump_path.empty()) {
+      std::FILE* dump = std::fopen(parsed->metrics_dump_path.c_str(), "w");
+      if (dump == nullptr) {
+        std::fprintf(stderr, "moela_serve: cannot write metrics dump '%s'\n",
+                     parsed->metrics_dump_path.c_str());
+      } else {
+        const std::string text = server.metrics_text();
+        std::fwrite(text.data(), 1, text.size(), dump);
+        std::fclose(dump);
+        std::fprintf(stderr, "moela_serve: metrics dumped to %s\n",
+                     parsed->metrics_dump_path.c_str());
+      }
+    }
     std::fprintf(stderr, "moela_serve: drained, %llu run(s) handled; bye\n",
                  static_cast<unsigned long long>(server.runs_handled()));
     return 0;
