@@ -1,16 +1,93 @@
 #include "api/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <utility>
+
+#include <unistd.h>
 
 #include "api/registry.hpp"
 #include "api/run_log.hpp"
+#include "api/snapshot.hpp"
 #include "util/timer.hpp"
 
 namespace moela::api {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The snapshot file for a fingerprint: hashed stem (fingerprints embed
+/// whole cache keys — too long and too shell-hostile for a filename), own
+/// extension so a snapshot directory pointed at the cache dir could never
+/// collide with ".moela" entries.
+std::string snapshot_file(const std::string& dir,
+                          const std::string& fingerprint) {
+  return (fs::path(dir) / (ResultCache::hash_key(fingerprint) + ".snap"))
+      .string();
+}
+
+/// Best-effort read + strict validation. Anything wrong — unreadable file,
+/// bad JSON, checksum mismatch, foreign fingerprint — returns null and the
+/// run starts fresh: a stale snapshot must never poison a result.
+std::shared_ptr<const RunSnapshot> load_snapshot_file(
+    const std::string& path, const std::string& fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return nullptr;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    RunSnapshot snapshot = snapshot_from_text(text);
+    if (snapshot.fingerprint != fingerprint) return nullptr;
+    return std::make_shared<const RunSnapshot>(std::move(snapshot));
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+/// Atomic persistence, same discipline as the ResultCache disk tier:
+/// write a uniquely named temp file, rename into place — a reader (or a
+/// crash) never observes a half-written snapshot.
+bool write_snapshot_file(const std::string& path,
+                         const RunSnapshot& snapshot) {
+  static std::atomic<std::uint64_t> write_counter{0};
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  const std::string temp = path + ".tmp." + util::dec(::getpid()) + "." +
+                           util::dec(write_counter.fetch_add(1));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    const std::string text = snapshot_to_text(snapshot);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!out) {
+      out.close();
+      fs::remove(temp, ec);
+      return false;
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Executor::Executor(ExecutorConfig config) : config_(config) {
   if (config_.run_log == nullptr) config_.run_log = RunLogger::from_env();
+  if (config_.metrics != nullptr) {
+    snapshots_written_ = &config_.metrics->counter(
+        "moela_snapshots_written_total",
+        "RunSnapshots persisted to the snapshot directory");
+    runs_resumed_ = &config_.metrics->counter(
+        "moela_runs_resumed_total",
+        "Runs resumed from a RunSnapshot instead of starting fresh");
+  }
   jobs_ = config.jobs;
   if (jobs_ == 0) {
     jobs_ = std::max(1u, std::thread::hardware_concurrency());
@@ -121,6 +198,7 @@ RunReport Executor::execute(const RunRequest& request, RunControl* control,
         report = std::move(*hit);
       }
     }
+    std::string snap_path;
     if (!report.provenance.cache_hit) {
       if (control != nullptr && control->stop_requested()) {
         // Never started: an empty, well-formed cancelled report.
@@ -135,8 +213,45 @@ RunReport Executor::execute(const RunRequest& request, RunControl* control,
                 : make_problem(request.problem, request.problem_options);
         auto optimizer =
             registry().create(request.algorithm, std::move(problem));
-        report = optimizer->run(request.options, control, index, batch->total);
+        RunCheckpoint ckpt;
+        if (request.checkpoint) {
+          // A bound problem has no fingerprint (cache_key is empty), which
+          // makes it uncheckpointable: the request silently runs plain.
+          ckpt.fingerprint = snapshot_fingerprint(request);
+          ckpt.checkpoint = !ckpt.fingerprint.empty();
+        }
+        if (ckpt.checkpoint) {
+          if (request.resume != nullptr &&
+              request.resume->fingerprint == ckpt.fingerprint) {
+            ckpt.resume = request.resume;
+          }
+          if (!config_.snapshot_dir.empty()) {
+            snap_path = snapshot_file(config_.snapshot_dir, ckpt.fingerprint);
+            if (ckpt.resume == nullptr) {
+              // Auto-resume: a snapshot file left by a crashed/cancelled
+              // earlier attempt at this exact request.
+              ckpt.resume = load_snapshot_file(snap_path, ckpt.fingerprint);
+            }
+            ckpt.on_snapshot = [this, &snap_path](const RunSnapshot& s) {
+              if (write_snapshot_file(snap_path, s) &&
+                  snapshots_written_ != nullptr) {
+                snapshots_written_->add();
+              }
+            };
+          }
+          if (ckpt.resume != nullptr && runs_resumed_ != nullptr) {
+            runs_resumed_->add();
+          }
+        }
+        report =
+            optimizer->run(request.options, control, index, batch->total, ckpt);
         ran = true;
+        if (!snap_path.empty() && !report.provenance.cancelled) {
+          // The run completed; its snapshot has served its purpose. A
+          // cancelled run keeps the file so the next attempt resumes.
+          std::error_code ec;
+          fs::remove(snap_path, ec);
+        }
       }
     }
     report.provenance.problem = request.problem;

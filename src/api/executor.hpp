@@ -52,9 +52,19 @@ struct ExecutorConfig {
   class RunLogger* run_log = nullptr;
   /// Optional telemetry registry (not owned; must outlive the Executor).
   /// Each executed (not cached) run observes its wall time into a
-  /// per-algorithm moela_run_seconds histogram. Telemetry only: nothing
-  /// here feeds back into reports or cache keys.
+  /// per-algorithm moela_run_seconds histogram, and checkpointing counts
+  /// into moela_snapshots_written_total / moela_runs_resumed_total.
+  /// Telemetry only: nothing here feeds back into reports or cache keys.
   util::MetricsRegistry* metrics = nullptr;
+  /// Directory for persisted RunSnapshots (next to the run log, in
+  /// deployments that keep both). Empty disables persistence: checkpointed
+  /// runs still stream snapshots on progress events, they just leave no
+  /// disk state. Files follow the ResultCache discipline — schema-salted
+  /// fingerprint hashed to the file stem, atomic write-temp-then-rename —
+  /// and a request that asks to checkpoint resumes from its snapshot file
+  /// automatically when one exists. A completed (non-cancelled) run deletes
+  /// its file: the snapshot's job is done.
+  std::string snapshot_dir;
   /// When false, no worker pool is spawned and submit()/run_all() refuse:
   /// the owner drives execute_one() from its own worker threads instead
   /// (serve::sched::Scheduler does this, so queue policy lives in one
@@ -114,6 +124,10 @@ class Executor {
   void worker_loop();
 
   ExecutorConfig config_;
+  /// Pre-resolved checkpoint counters (null when metrics is null) so the
+  /// hot path never does a registry name lookup.
+  util::Counter* snapshots_written_ = nullptr;
+  util::Counter* runs_resumed_ = nullptr;
   std::size_t jobs_ = 0;
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<RunReport()>> queue_;

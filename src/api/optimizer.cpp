@@ -17,16 +17,36 @@ bool KnobBag::parse_assignment(const std::string& assignment) {
 }
 
 RunReport Optimizer::run(const RunOptions& options, RunControl* control,
-                         std::size_t batch_index, std::size_t batch_size) {
+                         std::size_t batch_index, std::size_t batch_size,
+                         const RunCheckpoint& checkpoint) {
   core::EvalContext<AnyProblem> ctx(problem_, options.seed,
                                     options.max_evaluations,
                                     options.snapshot_interval,
                                     options.max_seconds);
   RunReport report;
   report.algorithm = name();
-  if (control != nullptr) {
-    ctx.set_stop_flag(control->stop_flag());
+  if (checkpoint.checkpoint) ctx.record_journal(true);
+  if (checkpoint.resume != nullptr) {
+    // Replay-based resume: the journal prefix substitutes for the problem,
+    // the algorithm re-derives its internal state deterministically, and
+    // the budget keeps counting from zero — so the resumed run stops at
+    // the same evaluation the uninterrupted one would.
+    ctx.resume_from(checkpoint.resume->journal);
+  }
+  if (control != nullptr || checkpoint.on_snapshot ||
+      checkpoint.checkpoint) {
+    if (control != nullptr) ctx.set_stop_flag(control->stop_flag());
     ctx.set_progress_hook([&](std::size_t evaluations, double seconds) {
+      std::shared_ptr<const RunSnapshot> snapshot;
+      if (checkpoint.checkpoint) {
+        auto snap = std::make_shared<RunSnapshot>();
+        snap->fingerprint = checkpoint.fingerprint;
+        snap->evaluations = evaluations;
+        snap->journal = ctx.journal();
+        if (checkpoint.on_snapshot) checkpoint.on_snapshot(*snap);
+        snapshot = std::move(snap);
+      }
+      if (control == nullptr) return;
       RunProgress progress;
       progress.algorithm = report.algorithm;
       progress.batch_index = batch_index;
@@ -34,6 +54,7 @@ RunReport Optimizer::run(const RunOptions& options, RunControl* control,
       progress.evaluations = evaluations;
       progress.seconds = seconds;
       progress.max_evaluations = options.max_evaluations;
+      progress.snapshot = std::move(snapshot);
       control->notify(progress);
     });
   }

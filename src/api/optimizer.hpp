@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -90,6 +91,28 @@ struct RunOptions {
   KnobBag knobs;
 };
 
+/// Resumable state of an in-flight run: the evaluation journal (objective
+/// vectors in evaluation order) plus counters. Every registered algorithm
+/// is deterministic given (problem, options) when max_seconds is 0, so the
+/// journal IS the run's state: resume re-executes the algorithm from its
+/// seed with the prefix served from the journal instead of the problem —
+/// same RNG draws, same proposals, same archive — and the resumed run's
+/// report is bit-identical to the uninterrupted one. Serialized through
+/// api/snapshot.hpp (hexfloat-exact, checksummed); snapshots never feed
+/// cache_key() or report bytes.
+struct RunSnapshot {
+  /// Identity of the producing request: the snapshot-schema salt plus the
+  /// request's cache_key(). A snapshot only resumes the exact same work —
+  /// consumers reject any fingerprint mismatch and run fresh instead.
+  std::string fingerprint;
+  /// Evaluations covered (== journal.size()); resume replays exactly this
+  /// prefix and the remaining budget re-runs live.
+  std::size_t evaluations = 0;
+  /// The evaluation journal: entry i is the objective vector of
+  /// evaluation i+1.
+  std::vector<moo::ObjectiveVector> journal;
+};
+
 /// One progress event from an in-flight run (emitted at the snapshot
 /// cadence) or from the Executor when a batch entry finishes.
 struct RunProgress {
@@ -109,6 +132,28 @@ struct RunProgress {
   bool finished = false;
   /// True when a finished run was served from the result cache.
   bool cache_hit = false;
+  /// Latest checkpoint of the run, attached to cadence events when the run
+  /// asked for checkpointing (RunCheckpoint::checkpoint); null otherwise.
+  /// Shared and immutable: observers may stash the pointer past the event.
+  std::shared_ptr<const RunSnapshot> snapshot;
+};
+
+/// Checkpoint/resume plumbing for Optimizer::run. Default-constructed it is
+/// inert: no journaling, no snapshots, no replay — the uncheckpointed hot
+/// path pays nothing.
+struct RunCheckpoint {
+  /// Record the evaluation journal and attach a RunSnapshot to every
+  /// cadence progress event (RunProgress::snapshot).
+  bool checkpoint = false;
+  /// Snapshot to resume from (journal replay); null starts fresh. The
+  /// caller is responsible for fingerprint validation — run() trusts it.
+  std::shared_ptr<const RunSnapshot> resume;
+  /// Identity stamped into emitted snapshots (api::snapshot_fingerprint of
+  /// the originating request; empty for direct Optimizer::run callers).
+  std::string fingerprint;
+  /// Optional sink invoked with each freshly taken snapshot, from the
+  /// run's own thread (the Executor persists them to disk through this).
+  std::function<void(const RunSnapshot&)> on_snapshot;
 };
 
 /// Shared observability and cancellation handle for one run or a whole
@@ -226,7 +271,19 @@ class Optimizer {
   /// report (provenance.cancelled = true). `batch_index`/`batch_size` tag
   /// the progress events when the run is part of an Executor batch.
   RunReport run(const RunOptions& options, RunControl* control,
-                std::size_t batch_index = 0, std::size_t batch_size = 1);
+                std::size_t batch_index = 0, std::size_t batch_size = 1) {
+    return run(options, control, batch_index, batch_size, RunCheckpoint{});
+  }
+
+  /// As above with the snapshot/restore contract: `checkpoint.checkpoint`
+  /// journals the run and attaches a RunSnapshot to every cadence progress
+  /// event; `checkpoint.resume` replays a prior snapshot's journal first,
+  /// so for fixed seeds (max_seconds = 0) the resumed report is
+  /// bit-identical to the uninterrupted run's — only wall-clock `seconds`
+  /// fields differ, and those are never part of the identity contract.
+  RunReport run(const RunOptions& options, RunControl* control,
+                std::size_t batch_index, std::size_t batch_size,
+                const RunCheckpoint& checkpoint);
 
   const AnyProblem& problem() const { return problem_; }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -56,6 +57,20 @@ struct RunRequest {
   /// in trace_id are the SAME work, so it is deliberately absent from
   /// cache_key() and never alters report content.
   std::string trace_id;
+  /// Opt-in checkpointing: the run records its evaluation journal and
+  /// emits RunSnapshots at the snapshot cadence (streamed on progress
+  /// events; persisted by an Executor with a snapshot_dir). Run-durability
+  /// metadata only: a checkpointed run produces the same report as an
+  /// uncheckpointed one, so like label/trace_id this is deliberately absent
+  /// from cache_key().
+  bool checkpoint = false;
+  /// Optional snapshot to resume from (shared, immutable — copying the
+  /// request is still cheap). Consumers validate the fingerprint against
+  /// snapshot_fingerprint(*this) and silently run fresh on a mismatch;
+  /// a valid resume replays to a report bit-identical to the
+  /// uninterrupted run, which is exactly why it must never feed
+  /// cache_key(): resumed and fresh are the SAME work.
+  std::shared_ptr<const RunSnapshot> resume;
 
   /// Canonical content key of this request: identical requests — same
   /// problem instance, algorithm, budgets, seed, and knob values — map to

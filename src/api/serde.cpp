@@ -1,10 +1,12 @@
 #include "api/serde.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "api/snapshot.hpp"
 #include "noc/design.hpp"
 #include "noc/io.hpp"
 
@@ -186,7 +188,13 @@ Json request_to_json(const RunRequest& request) {
       .set("options", std::move(options))
       .set("need_designs", request.need_designs)
       .set("label", request.label)
-      .set("trace", request.trace_id);
+      .set("trace", request.trace_id)
+      .set("checkpoint", request.checkpoint);
+  // The resume payload only when present: most requests carry none, and an
+  // absent key keeps pre-checkpoint wire peers byte-compatible.
+  if (request.resume != nullptr) {
+    out.set("resume", snapshot_to_json(*request.resume));
+  }
   return out;
 }
 
@@ -224,6 +232,15 @@ RunRequest request_from_json(const Json& json) {
   read_string(json, "label", request.label);
   // Absent on pre-telemetry wire peers: the empty default stands.
   read_string(json, "trace", request.trace_id);
+  // Absent on pre-checkpoint wire peers: both defaults stand. A resume
+  // payload is validated strictly (shape, salt, checksum) — a request
+  // carrying garbage is rejected whole rather than silently run fresh, so
+  // a corrupting middlebox cannot hide.
+  read_bool(json, "checkpoint", request.checkpoint);
+  if (const Json* resume = json.find("resume")) {
+    request.resume =
+        std::make_shared<const RunSnapshot>(snapshot_from_json(*resume));
+  }
   return request;
 }
 

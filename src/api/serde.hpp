@@ -24,8 +24,9 @@ namespace moela::api {
 
 /// Request → JSON. Fields: problem, problem_options{objectives, variables,
 /// seed, app, small_platform}, algorithm, options{evals, seconds, snapshot,
-/// seed, pop, n_local, knobs{}}, need_designs, label. Defaults are written
-/// explicitly so the wire form is self-contained.
+/// seed, pop, n_local, knobs{}}, need_designs, label, trace, checkpoint,
+/// and (only when present) a resume snapshot (api/snapshot.hpp). Defaults
+/// are written explicitly so the wire form is self-contained.
 util::Json request_to_json(const RunRequest& request);
 
 /// JSON → request. Unknown fields are ignored (forward compatibility);

@@ -5,12 +5,14 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "api/executor.hpp"
+#include "api/snapshot.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
@@ -44,6 +46,15 @@ struct SharedState {
   /// the forwarded `completed` count.
   std::vector<char> finish_reported;
   std::size_t finish_count = 0;
+  /// Requests for which any event has arrived — proof the daemon actually
+  /// started executing them. A transport failure charges an attempt only
+  /// for started requests: a request whose shard died before touching it
+  /// has not consumed anything.
+  std::vector<char> started;
+  /// Latest harvested RunSnapshot per request (null until one arrives).
+  /// A requeued request ships this to its next shard so the continuation
+  /// resumes instead of restarting.
+  std::vector<std::shared_ptr<const RunSnapshot>> latest_snapshot;
   std::atomic<bool> stopped{false};
 };
 
@@ -71,6 +82,13 @@ void run_shard(const ShardedExecutorConfig& config,
     requeued = &config.metrics->counter(
         "moela_shard_requeued_total",
         "Requests handed back to the pool after a shard failure",
+        {{"endpoint", endpoint.to_string()}});
+  }
+  util::Counter* resumed_total = nullptr;
+  if (config.metrics != nullptr && config.checkpoint) {
+    resumed_total = &config.metrics->counter(
+        "moela_shard_resumed_total",
+        "Requests completed from a mid-run snapshot after a shard failure",
         {{"endpoint", endpoint.to_string()}});
   }
 
@@ -141,24 +159,58 @@ void run_shard(const ShardedExecutorConfig& config,
     std::vector<RunRequest> batch;
     batch.reserve(chunk.size());
     for (const std::size_t i : chunk) batch.push_back(requests[i]);
+    std::size_t resuming = 0;
+    if (config.checkpoint) {
+      // Attach the latest harvested snapshots (under the mutex: a peer's
+      // handler may be storing new ones concurrently). A request seen
+      // before resumes mid-run on this shard instead of starting over.
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      for (std::size_t k = 0; k < chunk.size(); ++k) {
+        batch[k].checkpoint = true;
+        batch[k].resume = shared.latest_snapshot[chunk[k]];
+        if (batch[k].resume != nullptr) ++resuming;
+      }
+    }
 
     serve::Client::EventHandler handler;
-    if (control != nullptr) {
-      handler = [&shared, &chunk, batch_size, control](const Json& event) {
+    if (control != nullptr || config.checkpoint) {
+      handler = [&config, &shared, &chunk, batch_size,
+                 control](const Json& event) {
         // A version-skewed daemon with a missing/garbled index: drop the
         // event rather than misattribute it to another request (the
         // fallback is deliberately out of range).
         const std::size_t local =
             util::u64_field_or(event, "index", chunk.size());
         if (local >= chunk.size()) return;
+        const bool finished =
+            util::string_field_or(event, "event") == "finished";
+        {
+          // Any event proves the daemon started executing this request (a
+          // later transport failure then charges its attempt), and a
+          // snapshot payload becomes its resume point. A garbled snapshot
+          // keeps the previous one: never resume from garbage.
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.started[chunk[local]] = 1;
+          if (config.checkpoint) {
+            if (const Json* snap = event.find("snapshot")) {
+              try {
+                shared.latest_snapshot[chunk[local]] =
+                    std::make_shared<const RunSnapshot>(
+                        snapshot_from_json(*snap));
+              } catch (const std::exception&) {
+              }
+            }
+          }
+        }
+        if (control == nullptr) return;
+        // Cadence events forward only when the caller asked for streaming
+        // (checkpoint-only runs harvest them silently above).
+        if (!finished && !config.stream_progress) return;
         // Stale cadence events racing a requested stop are dropped (the
         // Client already suppresses them once ITS cancel went out; this
         // covers the window before, and other shards' chunks): nobody
         // wants to watch progress climb after "cancelling".
-        if (control->stop_requested() &&
-            util::string_field_or(event, "event") != "finished") {
-          return;
-        }
+        if (control->stop_requested() && !finished) return;
         RunProgress progress;
         progress.batch_size = batch_size;
         progress.batch_index = chunk[local];
@@ -167,7 +219,7 @@ void run_shard(const ShardedExecutorConfig& config,
         progress.max_evaluations =
             util::u64_field_or(event, "max_evaluations", 0);
         progress.seconds = util::double_field_or(event, "seconds", 0.0);
-        if (util::string_field_or(event, "event") == "finished") {
+        if (finished) {
           progress.finished = true;
           {
             // First completion per request only: a retried chunk re-fires
@@ -210,6 +262,10 @@ void run_shard(const ShardedExecutorConfig& config,
       }
       shared.inflight -= chunk.size();
       stats.completed += chunk.size();
+      stats.resumed += resuming;
+      if (resumed_total != nullptr && resuming > 0) {
+        resumed_total->add(resuming);
+      }
       shared.work_cv.notify_all();
       continue;
     } catch (const serve::RemoteError& e) {
@@ -235,11 +291,23 @@ void run_shard(const ShardedExecutorConfig& config,
           // re-executed (or served from the daemon's cache); the cost is
           // bounded by one solo round.
           shared.solo[i] = 1;
+          shared.started[i] = 0;
+          shared.pending.push_back(i);
+          ++handed_back;
+        } else if (transport && !shared.started[i]) {
+          // The connection died before the daemon emitted a single event
+          // for this request: it never started executing, so — like the
+          // requeued static slice below — no attempt is charged. (A
+          // RemoteError always charges: the server answered, so the
+          // request genuinely ran and failed.)
           shared.pending.push_back(i);
           ++handed_back;
         } else if (++shared.attempts[i] >= config.max_attempts) {
           shared.failed[i] = 1;
         } else {
+          // Reset the started mark so the NEXT shard's transport failure
+          // is charged (or not) on its own evidence.
+          shared.started[i] = 0;
           shared.pending.push_back(i);
           ++handed_back;
         }
@@ -398,6 +466,8 @@ std::vector<RunReport> ShardedExecutor::run_all(
   shared.failed.assign(n, 0);
   shared.solo.assign(n, 0);
   shared.finish_reported.assign(n, 0);
+  shared.started.assign(n, 0);
+  shared.latest_snapshot.assign(n, nullptr);
 
   if (!healthy.empty()) {
     if (config_.policy == ShardPolicy::kRoundRobin) {

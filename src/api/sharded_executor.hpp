@@ -18,8 +18,12 @@
 //     is retired for the rest of the run and its outstanding requests are
 //     requeued onto the surviving shards; each request is attempted at
 //     most `max_attempts` times, so a poison request terminates instead of
-//     ping-ponging. With `local_fallback`, requests no shard could serve
-//     run on an in-process Executor instead of failing the batch.
+//     ping-ponging. With `checkpoint` (the default), requests stream
+//     RunSnapshots while they run, and a request requeued from a dead
+//     shard ships its latest snapshot to the survivor — the continuation
+//     replays to the same bit-identical report instead of starting over.
+//     With `local_fallback`, requests no shard could serve run on an
+//     in-process Executor instead of failing the batch.
 //   * Observability — per-run `finished` events (and, with
 //     `stream_progress`, the daemons' snapshot-cadence progress events)
 //     are forwarded to the RunControl passed to run_all, index-tagged in
@@ -108,6 +112,14 @@ struct ShardedExecutorConfig {
   /// partition. Disable to let connect failures surface through the
   /// requeue machinery instead.
   bool probe_health = true;
+  /// Checkpoint every dispatched request (RunRequest::checkpoint): the
+  /// daemons stream RunSnapshots at the snapshot cadence, the coordinator
+  /// keeps the latest per request, and a request requeued after a shard
+  /// death resumes from it on the next shard instead of re-running from
+  /// scratch. Reports stay bit-identical either way (resume is replay);
+  /// this only changes how much work a failure wastes. Off: failures
+  /// re-run whole requests, as before PR 9.
+  bool checkpoint = true;
   /// Run requests that no healthy shard could serve on an in-process
   /// Executor instead of failing the batch.
   bool local_fallback = false;
@@ -141,6 +153,9 @@ struct ShardStats {
   std::size_t completed = 0;
   /// Chunks that failed on this shard (transport or server error).
   std::size_t failures = 0;
+  /// Completed requests that resumed from a mid-run snapshot (i.e. work
+  /// this shard continued for a failed peer rather than restarted).
+  std::size_t resumed = 0;
   /// The shard's last error, empty when it never failed.
   std::string error;
 };

@@ -1,0 +1,144 @@
+#include "api/snapshot.hpp"
+
+#include <utility>
+
+#include "api/result_cache.hpp"
+#include "util/numeric.hpp"
+
+namespace moela::api {
+namespace {
+
+using util::Json;
+using util::JsonError;
+
+std::string salt() {
+  return "moela-snap-v" + util::dec(kSnapshotSchemaVersion) + "|";
+}
+
+/// Canonical checksum payload: every field that decides what a replay does,
+/// rendered exactly (hexfloat). The digest re-uses the cache's FNV-1a so
+/// one hashing discipline covers every moela disk artifact.
+std::string checksum_payload(const RunSnapshot& snapshot) {
+  std::string payload = snapshot.fingerprint;
+  payload += '\n';
+  payload += util::dec(snapshot.evaluations);
+  for (const auto& row : snapshot.journal) {
+    payload += '\n';
+    bool first = true;
+    for (double v : row) {
+      if (!first) payload += ',';
+      first = false;
+      payload += util::hexfloat(v);
+    }
+  }
+  return payload;
+}
+
+std::string checksum_of(const RunSnapshot& snapshot) {
+  return ResultCache::hash_key(checksum_payload(snapshot));
+}
+
+}  // namespace
+
+std::string snapshot_fingerprint(const RunRequest& request) {
+  const std::string key = request.cache_key();
+  if (key.empty()) return {};  // bound problem: no identity, no checkpoint
+  return salt() + key;
+}
+
+Json snapshot_to_json(const RunSnapshot& snapshot) {
+  Json journal = Json::array();
+  for (const auto& row : snapshot.journal) {
+    Json json_row = Json::array();
+    for (double v : row) json_row.append(util::exact_number(v));
+    journal.append(std::move(json_row));
+  }
+  Json out = Json::object();
+  out.set("fingerprint", snapshot.fingerprint)
+      .set("evaluations", snapshot.evaluations)
+      .set("journal", std::move(journal))
+      .set("checksum", checksum_of(snapshot));
+  return out;
+}
+
+RunSnapshot snapshot_from_json(const Json& json) {
+  if (!json.is_object()) throw JsonError("snapshot: not a JSON object");
+  RunSnapshot snapshot;
+
+  const Json* fingerprint = json.find("fingerprint");
+  if (fingerprint == nullptr || !fingerprint->is_string()) {
+    throw JsonError("snapshot: missing 'fingerprint'");
+  }
+  snapshot.fingerprint = fingerprint->as_string();
+  if (snapshot.fingerprint.rfind(salt(), 0) != 0) {
+    throw JsonError("snapshot: fingerprint lacks the '" + salt() +
+                    "' schema salt (stale or foreign snapshot)");
+  }
+
+  const Json* evaluations = json.find("evaluations");
+  if (evaluations == nullptr) {
+    throw JsonError("snapshot: missing 'evaluations'");
+  }
+  snapshot.evaluations = static_cast<std::size_t>(evaluations->as_u64());
+  if (snapshot.evaluations == 0) {
+    throw JsonError("snapshot: covers zero evaluations");
+  }
+
+  const Json* journal = json.find("journal");
+  if (journal == nullptr || !journal->is_array()) {
+    throw JsonError("snapshot: missing 'journal'");
+  }
+  snapshot.journal.reserve(journal->as_array().size());
+  std::size_t width = 0;
+  for (const auto& json_row : journal->as_array()) {
+    if (!json_row.is_array() || json_row.as_array().empty()) {
+      throw JsonError("snapshot: journal rows must be non-empty arrays");
+    }
+    moo::ObjectiveVector row;
+    row.reserve(json_row.as_array().size());
+    for (const auto& v : json_row.as_array()) {
+      row.push_back(util::exact_to_double(v));
+    }
+    if (width == 0) {
+      width = row.size();
+    } else if (row.size() != width) {
+      throw JsonError("snapshot: ragged journal (objective count changed "
+                      "mid-run)");
+    }
+    snapshot.journal.push_back(std::move(row));
+  }
+  if (snapshot.evaluations != snapshot.journal.size()) {
+    throw JsonError("snapshot: 'evaluations' (" +
+                    util::dec(snapshot.evaluations) +
+                    ") disagrees with the journal (" +
+                    util::dec(snapshot.journal.size()) + " entries)");
+  }
+
+  const Json* checksum = json.find("checksum");
+  if (checksum == nullptr || !checksum->is_string()) {
+    throw JsonError("snapshot: missing 'checksum'");
+  }
+  if (checksum->as_string() != checksum_of(snapshot)) {
+    throw JsonError("snapshot: checksum mismatch (corrupt or tampered)");
+  }
+  return snapshot;
+}
+
+std::string snapshot_to_text(const RunSnapshot& snapshot) {
+  return snapshot_to_json(snapshot).dump() + "\n";
+}
+
+RunSnapshot snapshot_from_text(const std::string& text) {
+  std::string trimmed = text;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r' ||
+          trimmed.back() == ' ' || trimmed.back() == '\t')) {
+    trimmed.pop_back();
+  }
+  std::string error;
+  const auto parsed = Json::try_parse(trimmed, &error);
+  if (!parsed) throw JsonError("snapshot: bad JSON: " + error);
+  return snapshot_from_json(*parsed);
+}
+
+}  // namespace moela::api

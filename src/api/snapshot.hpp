@@ -1,0 +1,51 @@
+// Serialization and identity of api::RunSnapshot — the checkpoint format
+// behind crash/resume (docs/checkpointing.md).
+//
+// Exactness contract: like the result cache and the wire protocol, every
+// objective value travels as a hexfloat string (util::exact_number), so a
+// snapshot read back from disk or off the wire replays to a bit-identical
+// report. The codec is strict in BOTH directions: encoding is
+// byte-deterministic (sorted keys, locale-proof rendering — the golden
+// snapshot tests pin the exact bytes), and decoding validates shape,
+// fingerprint salt, counters, and an FNV-1a checksum before accepting —
+// a truncated or mutated snapshot is a clean JsonError, never a resumed
+// run from garbage.
+#pragma once
+
+#include <string>
+
+#include "api/optimizer.hpp"
+#include "api/request.hpp"
+#include "util/json.hpp"
+
+namespace moela::api {
+
+/// Version salt of the snapshot schema, folded into every fingerprint.
+/// Bump it whenever the snapshot format or replay semantics change so
+/// snapshots written by older builds read as stale (fingerprint mismatch)
+/// instead of replaying wrongly.
+inline constexpr unsigned kSnapshotSchemaVersion = 1;
+
+/// Canonical identity of a request's snapshots: the snapshot-schema salt
+/// plus the request's cache_key(). Returns "" for an uncacheable request
+/// (bound problem, no key) — such runs cannot be checkpointed. Deliberately
+/// one-way: snapshots never feed cache_key() back.
+std::string snapshot_fingerprint(const RunRequest& request);
+
+/// Snapshot → JSON: {"fingerprint", "evaluations", "journal", "checksum"},
+/// journal rows as hexfloat strings, checksum an FNV-1a digest over the
+/// canonical payload. dump() of the result is byte-deterministic.
+util::Json snapshot_to_json(const RunSnapshot& snapshot);
+
+/// JSON → snapshot. Throws util::JsonError on any defect: missing or
+/// mistyped fields, a fingerprint without the schema salt, an evaluation
+/// count that disagrees with the journal, ragged journal rows, or a
+/// checksum mismatch. A snapshot this returns is safe to replay.
+RunSnapshot snapshot_from_json(const util::Json& json);
+
+/// Convenience text forms (the on-disk snapshot file format: one JSON
+/// object, newline-terminated).
+std::string snapshot_to_text(const RunSnapshot& snapshot);
+RunSnapshot snapshot_from_text(const std::string& text);
+
+}  // namespace moela::api

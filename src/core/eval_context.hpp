@@ -49,8 +49,28 @@ class EvalContext {
         max_seconds_(max_seconds) {}
 
   /// Evaluates a design, counts it, and folds the result into the archive.
+  ///
+  /// Replay-based resume: while `evaluations_` is below the replay limit
+  /// installed by resume_from(), the objective vector is served from the
+  /// journal instead of calling the problem. The algorithm itself still
+  /// runs — same RNG draws, same design proposals, same archive folds — so
+  /// its internal state after the replayed prefix is bit-identical to the
+  /// original run's, at journal-lookup cost instead of evaluation cost.
   moo::ObjectiveVector evaluate(const Design& d) {
+    // Replay and journaling live in noinline cold helpers: a plain run
+    // (the overwhelming majority) pays two predicted-false branches and
+    // nothing else over the pre-checkpoint code. Keeping the helpers'
+    // bodies out of this function matters — inlining the vector-growth
+    // and replay machinery here pushes evaluate() past the inlining
+    // budget of the algorithm loops that call it, a measured double-digit
+    // throughput hit on cheap-evaluation problems.
+    if (evaluations_ < replay_limit_) [[unlikely]] {
+      return evaluate_replayed();
+    }
     moo::ObjectiveVector obj = problem_->evaluate(d);
+    if (record_journal_) [[unlikely]] {
+      record_evaluation(obj);
+    }
     ++evaluations_;
     archive_.insert(obj, evaluations_);
     if (snapshot_interval_ > 0 &&
@@ -88,6 +108,57 @@ class EvalContext {
     progress_hook_ = std::move(hook);
   }
 
+  /// Enables the evaluation journal: every objective vector returned by
+  /// evaluate() is recorded in evaluation order, the raw material of a
+  /// api::RunSnapshot. Off by default — journaling is only paid for by runs
+  /// that asked to be checkpointable.
+  void record_journal(bool on) { record_journal_ = on; }
+
+  /// The recorded journal (empty unless record_journal(true) or
+  /// resume_from() was called). Entry i is the objective vector of
+  /// evaluation i+1.
+  const std::vector<moo::ObjectiveVector>& journal() const { return journal_; }
+
+  /// Installs a journal prefix for replay-based resume: the first
+  /// journal.size() calls to evaluate() are served from it without touching
+  /// the problem. Implies journaling (new evaluations append after the
+  /// prefix, so later snapshots cover the whole run). Call before the
+  /// algorithm starts.
+  void resume_from(std::vector<moo::ObjectiveVector> journal) {
+    replay_limit_ = journal.size();
+    journal_ = std::move(journal);
+    record_journal_ = true;
+  }
+
+  /// True while evaluate() is still serving the resume prefix.
+  bool replaying() const { return evaluations_ < replay_limit_; }
+
+ private:
+  /// Journal-recording arm of evaluate(), out of line (see there).
+  [[gnu::noinline]] [[gnu::cold]] void record_evaluation(
+      const moo::ObjectiveVector& obj) {
+    journal_.push_back(obj);
+  }
+
+  /// The replay arm of evaluate(): serves the next objective vector from
+  /// the journal prefix instead of the problem. Snapshot bookkeeping still
+  /// runs (the trace must cover the replayed ground), but progress — and
+  /// therefore checkpoint — hooks stay quiet: observers would see a sprint
+  /// through old ground, and re-checkpointing evaluations the snapshot
+  /// already covers is wasted motion.
+  [[gnu::noinline]] [[gnu::cold]] moo::ObjectiveVector evaluate_replayed() {
+    moo::ObjectiveVector obj = journal_[evaluations_];
+    ++evaluations_;
+    archive_.insert(obj, evaluations_);
+    if (snapshot_interval_ > 0 && evaluations_ >= next_snapshot_) {
+      take_snapshot();
+      next_snapshot_ = evaluations_ + snapshot_interval_;
+    }
+    return obj;
+  }
+
+ public:
+
   /// All-time non-dominated set over every evaluation in this run.
   const moo::ParetoArchive& archive() const { return archive_; }
 
@@ -122,6 +193,12 @@ class EvalContext {
   double max_seconds_ = 0.0;
   std::size_t next_snapshot_ = 1;
   std::size_t evaluations_ = 0;
+  /// Evaluation journal: objective vectors in evaluation order. Doubles as
+  /// the replay source on resume (entries below replay_limit_) and the
+  /// recording target afterwards.
+  std::vector<moo::ObjectiveVector> journal_;
+  std::size_t replay_limit_ = 0;
+  bool record_journal_ = false;
   moo::ParetoArchive archive_;
   std::vector<ArchiveSnapshot> snapshots_;
   std::function<std::vector<moo::ObjectiveVector>()> solution_set_provider_;

@@ -12,10 +12,20 @@
 //   {"id":4,"verb":"cache_stats"}
 //   {"id":5,"verb":"run","requests":[<RunRequest JSON, api/serde.hpp>,...],
 //    "progress":true}
+//                                — a request may set "checkpoint":true
+//                                  (stream RunSnapshots; persist them when
+//                                  the daemon has --snapshot-dir) and/or
+//                                  carry a "resume" snapshot
+//                                  (api/snapshot.hpp) to continue an
+//                                  interrupted run bit-identically. A
+//                                  malformed resume payload rejects the
+//                                  batch whole.
 //   {"id":6,"verb":"health"}     — load snapshot (jobs, inflight,
-//                                  runs_handled, runs_cancelled, accepting,
-//                                  cache counters); api::ShardedExecutor
-//                                  probes it for placement
+//                                  runs_handled, runs_cancelled,
+//                                  runs_resumed, snapshots_written,
+//                                  accepting, cache counters);
+//                                  api::ShardedExecutor probes it for
+//                                  placement
 //   {"id":9,"verb":"metrics"}    — full telemetry snapshot (the
 //                                  MetricsRegistry's JSON form: per-verb
 //                                  request counters/latency, per-class
@@ -44,7 +54,10 @@
 //     Every event carries "elapsed_ms" (server-side monotonic time since
 //     the batch was admitted, so clients can spot a stalled run without
 //     local bookkeeping) and, when the submitting client minted one, the
-//     batch's "trace" id:
+//     batch's "trace" id. A checkpointing run's cadence events also carry
+//     a "snapshot" object (api/snapshot.hpp JSON form) — streamed even
+//     when "progress" was not requested, since the resume payload is the
+//     point of checkpointing:
 //       {"id":5,"event":"progress","label":...,"algorithm":...,
 //        "evaluations":...,"max_evaluations":...,"seconds":...,
 //        "elapsed_ms":...,"trace":"9f2c..."}
@@ -80,7 +93,7 @@ inline constexpr int kProtocolVersion = 1;
 /// verbs so an operator can tell which build a long-lived daemon runs.
 /// Tracks the PR sequence growing this repo, not kProtocolVersion (which
 /// only moves on breaking wire changes).
-inline constexpr const char* kServerVersion = "0.8.0";
+inline constexpr const char* kServerVersion = "0.9.0";
 
 /// Upper bound on one framed line (requests can carry whole batches, and
 /// responses whole report sets, so this is generous).

@@ -15,6 +15,7 @@
 #include "api/problems.hpp"
 #include "api/registry.hpp"
 #include "api/serde.hpp"
+#include "api/snapshot.hpp"
 #include "util/log.hpp"
 #include "util/numeric.hpp"
 
@@ -72,6 +73,7 @@ Server::Server(ServeConfig config)
   executor_config.cache = config_.use_cache ? &cache_ : nullptr;
   executor_config.run_log = config_.run_log;
   executor_config.metrics = &metrics_;
+  executor_config.snapshot_dir = config_.snapshot_dir;
   // The scheduler brings the worker pool; the Executor contributes its
   // execute path (cache, run-log, provenance) through execute_one.
   executor_config.pool = false;
@@ -108,6 +110,15 @@ Server::Server(ServeConfig config)
       verb_metrics_.emplace(verb, vm);
     }
   }
+
+  // Alias the Executor's checkpoint counters (same name + help resolve to
+  // the same series) so the health verb reads them without a name lookup.
+  runs_resumed_counter_ = &metrics_.counter(
+      "moela_runs_resumed_total",
+      "Runs resumed from a RunSnapshot instead of starting fresh");
+  snapshots_written_counter_ = &metrics_.counter(
+      "moela_snapshots_written_total",
+      "RunSnapshots persisted to the snapshot directory");
 }
 
 Server::~Server() {
@@ -407,6 +418,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
         .set("classes", sched_classes_json())
         .set("runs_handled", runs_handled())
         .set("runs_cancelled", runs_cancelled())
+        .set("runs_resumed", runs_resumed_counter_->value())
+        .set("snapshots_written", snapshots_written_counter_->value())
         .set("accepting", !shutdown_requested())
         .set("cache", std::move(cache));
     respond(response);
@@ -557,7 +570,12 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
   // start, or early events would be lost.
   control->on_progress([connection, id, labels, stream_progress, trace,
                         admitted](const api::RunProgress& progress) {
-    if (!progress.finished && !stream_progress) return;
+    // Snapshot-bearing events always go out: a checkpointing client that
+    // did not ask for progress streaming still needs the resume payload.
+    if (!progress.finished && !stream_progress &&
+        progress.snapshot == nullptr) {
+      return;
+    }
     Json event = Json::object();
     event.set("id", id)
         .set("event", progress.finished ? "finished" : "progress")
@@ -571,6 +589,9 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
         .set("seconds", progress.seconds)
         .set("elapsed_ms", admitted->elapsed_ms());
     if (!trace.empty()) event.set("trace", trace);
+    if (progress.snapshot != nullptr) {
+      event.set("snapshot", api::snapshot_to_json(*progress.snapshot));
+    }
     if (progress.finished) {
       event.set("completed", progress.completed)
           .set("total", progress.batch_size)

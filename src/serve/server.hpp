@@ -87,6 +87,10 @@ struct ServeConfig {
   /// Optional per-run JSONL logger (not owned). Null falls back to
   /// $MOELA_RUN_LOG via the Executor.
   api::RunLogger* run_log = nullptr;
+  /// Directory for persisted RunSnapshots (ExecutorConfig::snapshot_dir —
+  /// typically next to the run log). Empty disables persistence; requests
+  /// asking to checkpoint then only stream snapshots over the wire.
+  std::string snapshot_dir;
 };
 
 class Server {
@@ -235,6 +239,11 @@ class Server {
   };
   std::map<std::string, VerbMetrics> verb_metrics_;
   VerbMetrics other_verb_metrics_;
+  /// The Executor's checkpoint counters, pre-resolved (same name + help,
+  /// so they alias the Executor's series) for the health verb's
+  /// runs_resumed / snapshots_written fields.
+  util::Counter* runs_resumed_counter_ = nullptr;
+  util::Counter* snapshots_written_counter_ = nullptr;
   /// Monotonic clock started by start(): the health verb's uptime.
   util::Timer started_at_;
   api::ResultCache cache_;

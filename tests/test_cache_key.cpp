@@ -9,9 +9,11 @@
 // the same commit.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "api/request.hpp"
+#include "api/snapshot.hpp"
 
 namespace moela::api {
 namespace {
@@ -125,6 +127,20 @@ TEST(CacheKeyGolden, EveryFieldSeparatesKeys) {
   RunRequest traced = base;
   traced.trace_id = "00deadbeef00cafe";
   EXPECT_EQ(traced.cache_key(), base_key);
+  // Checkpointing is execution mechanics, not work identity: a resumed run
+  // is bit-identical to the uninterrupted one, so neither the checkpoint
+  // flag nor an attached resume snapshot may feed the key (they would
+  // split one run's cache entry in two — and snapshots must never feed
+  // cache_key() back, the fingerprint is deliberately one-way).
+  RunRequest checkpointed = base;
+  checkpointed.checkpoint = true;
+  EXPECT_EQ(checkpointed.cache_key(), base_key);
+  auto snapshot = std::make_shared<RunSnapshot>();
+  snapshot->fingerprint = snapshot_fingerprint(base);
+  snapshot->journal = {{0.5, 0.25}};
+  snapshot->evaluations = 1;
+  checkpointed.resume = snapshot;
+  EXPECT_EQ(checkpointed.cache_key(), base_key);
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "api/request.hpp"
 #include "api/serde.hpp"
+#include "api/snapshot.hpp"
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -133,6 +135,48 @@ TEST(FuzzWire, RequestDecoderSurvivesMutatedFrames) {
     }
   }
   EXPECT_GT(decoded, 50u);
+}
+
+TEST(FuzzWire, SnapshotDecoderSurvivesMutatedBlobs) {
+  // The checkpoint decoder guards the resume path: a truncated or mutated
+  // snapshot file (crashed daemon, torn disk, hostile client) must be a
+  // clean JsonError — never a crash, never a half-accepted journal that
+  // would replay a run from garbage.
+  api::RunRequest request;
+  request.problem = "zdt1";
+  request.problem_options.num_variables = 10;
+  request.algorithm = "moela";
+  request.options.max_evaluations = 16;
+  request.options.seed = 7;
+  api::RunSnapshot seed_snapshot;
+  seed_snapshot.fingerprint = api::snapshot_fingerprint(request);
+  seed_snapshot.journal = {{0.5, 2.25}, {0.125, 3.0}, {1.0 / 3.0, 0.75}};
+  seed_snapshot.evaluations = seed_snapshot.journal.size();
+  const std::string seed_text = api::snapshot_to_text(seed_snapshot);
+
+  // The unmutated seed must decode — a broken happy path would make every
+  // mutant's rejection vacuous.
+  EXPECT_EQ(api::snapshot_from_text(seed_text).journal,
+            seed_snapshot.journal);
+
+  util::Rng rng(0xD15EA5E5ull);
+  std::size_t rejected = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const std::string blob = mutate(seed_text, rng);
+    try {
+      const api::RunSnapshot snapshot = api::snapshot_from_text(blob);
+      // The FNV checksum over the canonical payload makes surviving a
+      // content mutation astronomically unlikely: anything accepted must
+      // be internally consistent and a byte-exact round-trip fixed point.
+      ASSERT_EQ(snapshot.evaluations, snapshot.journal.size()) << blob;
+      const std::string re = api::snapshot_to_text(snapshot);
+      ASSERT_EQ(api::snapshot_from_text(re).journal, snapshot.journal)
+          << blob;
+    } catch (const util::JsonError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  EXPECT_GT(rejected, 25000u);
 }
 
 TEST(FuzzWire, EndpointParserSurvivesMutatedSpecs) {

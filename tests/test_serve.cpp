@@ -5,29 +5,31 @@
 // Executor call produces (modulo the cache provenance flags) — plus the
 // auxiliary verbs, progress streaming, the per-connection in-flight bound,
 // the scheduler's wire surface (priority classes, admission shedding,
-// per-class health counters, starvation freedom), error answers, and the
-// shutdown drain.
+// per-class health counters, starvation freedom), error answers, the
+// checkpoint/resume surface (snapshot events, snapshot_dir persistence,
+// severed connections — via tests/fault_injection.hpp), and the shutdown
+// drain.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include <netdb.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "api/executor.hpp"
 #include "api/problems.hpp"
 #include "api/registry.hpp"
 #include "api/request.hpp"
+#include "api/result_cache.hpp"
 #include "api/serde.hpp"
+#include "api/snapshot.hpp"
+#include "fault_injection.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -312,14 +314,7 @@ TEST(Serve, CancelChasingItsRunDownThePipeStillLands) {
   // it; were registration left to the dispatcher, this cancel would be
   // lost and the batch would burn its full 50M-eval budget.
   ServerFixture fixture;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(fixture.server->port()));
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
+  fault::RawConnection raw(fixture.server->port());
 
   api::RunRequest request = zdt1_request("moela", 1);
   request.options.max_evaluations = 50000000;
@@ -332,13 +327,12 @@ TEST(Serve, CancelChasingItsRunDownThePipeStillLands) {
       .set("progress", false);
   Json cancel = Json::object();
   cancel.set("id", 2).set("verb", "cancel").set("target", 1);
-  ASSERT_TRUE(send_line(fd, run.dump() + "\n" + cancel.dump()));
+  ASSERT_TRUE(raw.send(run.dump() + "\n" + cancel.dump()));
 
   bool saw_cancel_ack = false;
   std::optional<Json> final_response;
-  LineReader reader(fd);
   std::string line;
-  while (!final_response.has_value() && reader.read_line(line)) {
+  while (!final_response.has_value() && raw.read_line(line)) {
     if (line.empty()) continue;
     const auto message = Json::try_parse(line, nullptr);
     ASSERT_TRUE(message.has_value()) << line;
@@ -351,7 +345,6 @@ TEST(Serve, CancelChasingItsRunDownThePipeStillLands) {
       final_response = *message;
     }
   }
-  ::close(fd);
 
   EXPECT_TRUE(saw_cancel_ack);
   ASSERT_TRUE(final_response.has_value());
@@ -582,14 +575,7 @@ TEST(Serve, MetricsCountCacheTraffic) {
 
 TEST(Serve, MalformedPriorityIsRejected) {
   ServerFixture fixture;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  ASSERT_GE(fd, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(fixture.server->port()));
-  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-            0);
+  fault::RawConnection raw(fixture.server->port());
 
   Json requests_json = Json::array();
   requests_json.append(api::request_to_json(zdt1_request("moela")));
@@ -598,17 +584,15 @@ TEST(Serve, MalformedPriorityIsRejected) {
       .set("verb", "run")
       .set("requests", std::move(requests_json))
       .set("priority", "urgent");
-  ASSERT_TRUE(send_line(fd, run.dump()));
+  ASSERT_TRUE(raw.send(run.dump()));
 
-  LineReader reader(fd);
   std::string line;
-  ASSERT_TRUE(reader.read_line(line));
+  ASSERT_TRUE(raw.read_line(line));
   const auto response = Json::try_parse(line, nullptr);
   ASSERT_TRUE(response.has_value()) << line;
   EXPECT_FALSE(response->find("ok")->as_bool());
   const std::string error = response->find("error")->as_string();
   EXPECT_NE(error.find("bad priority 'urgent'"), std::string::npos) << error;
-  ::close(fd);
 
   // The typo was rejected at the door: nothing ran, nothing leaked.
   EXPECT_EQ(fixture.server->inflight_total(), 0u);
@@ -774,6 +758,171 @@ TEST(Serve, QueueFullShedsWithStructuredOverloadAndNoSlotLeak) {
   EXPECT_EQ(settled.find("queued")->as_u64(), 0u);
   EXPECT_EQ(settled.find("running")->as_u64(), 0u);
   EXPECT_EQ(settled.find("inflight")->as_u64(), 0u);
+}
+
+// --- checkpoint / resume --------------------------------------------------
+
+TEST(Serve, StreamedSnapshotResumesBitIdentically) {
+  ServerFixture fixture;
+
+  // The uninterrupted reference: the same request with checkpointing off.
+  api::RunRequest request = zdt1_request("moela");
+  const api::RunReport reference = fixture.client.run({request}).front();
+
+  // A checkpointing run streams snapshot-bearing events at the cadence —
+  // even with progress streaming OFF, because the snapshot is the client's
+  // only resume handle and must not depend on a human watching a spinner.
+  request.checkpoint = true;
+  std::shared_ptr<const api::RunSnapshot> harvested;
+  std::atomic<std::size_t> snapshot_events{0};
+  fixture.client.run({request}, /*stream_progress=*/false,
+                     [&](const Json& event) {
+                       const Json* snapshot = event.find("snapshot");
+                       if (snapshot == nullptr) return;
+                       ++snapshot_events;
+                       if (harvested == nullptr) {
+                         harvested =
+                             std::make_shared<const api::RunSnapshot>(
+                                 api::snapshot_from_json(*snapshot));
+                       }
+                     });
+  // snapshot_interval 200 in a 600-eval budget: at least the first two
+  // cadence points carry a snapshot (the final one rides the finish).
+  EXPECT_GE(snapshot_events.load(), 2u);
+  ASSERT_NE(harvested, nullptr);
+  EXPECT_EQ(harvested->fingerprint, api::snapshot_fingerprint(request));
+  EXPECT_GT(harvested->evaluations, 0u);
+  EXPECT_LT(harvested->evaluations, 600u);
+
+  // Resuming from the harvested mid-run snapshot — journal replay for the
+  // prefix, live evaluation for the rest — lands on the bit-identical
+  // report, and the daemon counts the resume.
+  request.resume = harvested;
+  const api::RunReport resumed = fixture.client.run({request}).front();
+  EXPECT_FALSE(resumed.provenance.cancelled);
+  expect_equal_modulo_cache(reference, resumed);
+  const Json health = fixture.client.health();
+  EXPECT_GE(health.find("runs_resumed")->as_u64(), 1u);
+  // No snapshot_dir on this daemon: nothing was persisted.
+  EXPECT_EQ(health.find("snapshots_written")->as_u64(), 0u);
+}
+
+TEST(Serve, SnapshotDirPersistsAndAutoResumes) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "moela-serve-snapshots";
+  std::filesystem::remove_all(dir);
+  ServeConfig config;
+  config.snapshot_dir = dir.string();
+  ServerFixture fixture(config);
+
+  api::RunRequest request = zdt1_request("moela");
+  request.checkpoint = true;
+
+  // A checkpointing run that completes cleans up after itself: snapshots
+  // were written at the cadence, and the file is gone once the report is
+  // final (a finished run must never be "resumed").
+  std::shared_ptr<const api::RunSnapshot> harvested;
+  const api::RunReport reference =
+      fixture.client
+          .run({request}, /*stream_progress=*/false,
+               [&](const Json& event) {
+                 if (const Json* snapshot = event.find("snapshot");
+                     snapshot != nullptr && harvested == nullptr) {
+                   harvested = std::make_shared<const api::RunSnapshot>(
+                       api::snapshot_from_json(*snapshot));
+                 }
+               })
+          .front();
+  ASSERT_NE(harvested, nullptr);
+  const Json after_complete = fixture.client.health();
+  EXPECT_GE(after_complete.find("snapshots_written")->as_u64(), 1u);
+  EXPECT_EQ(after_complete.find("runs_resumed")->as_u64(), 0u);
+  const std::filesystem::path snap_file =
+      dir / (api::ResultCache::hash_key(api::snapshot_fingerprint(request)) +
+             ".snap");
+  EXPECT_FALSE(std::filesystem::exists(snap_file));
+
+  // A daemon SIGKILLed mid-run leaves exactly this state behind: the
+  // latest cadence snapshot sitting in snapshot_dir under the
+  // fingerprint-hashed name. Recreate it from the harvested mid-run
+  // snapshot, resubmit the same request with no resume payload, and the
+  // Executor must find the file, resume from it, finish bit-identically,
+  // and delete it.
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(snap_file, std::ios::binary);
+    out << api::snapshot_to_text(*harvested);
+  }
+  const api::RunReport resumed = fixture.client.run({request}).front();
+  expect_equal_modulo_cache(reference, resumed);
+  const Json after_resume = fixture.client.health();
+  EXPECT_GE(after_resume.find("runs_resumed")->as_u64(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(snap_file));
+
+  // A stale snapshot — wrong fingerprint for this request — is ignored,
+  // not replayed: a different seed runs fresh and still lands exactly on
+  // its inline twin.
+  api::RunRequest other = zdt1_request("moela", 11);
+  other.checkpoint = true;
+  const std::filesystem::path other_file =
+      dir / (api::ResultCache::hash_key(api::snapshot_fingerprint(other)) +
+             ".snap");
+  {
+    std::ofstream out(other_file, std::ios::binary);
+    out << api::snapshot_to_text(*harvested);  // fingerprint mismatch
+  }
+  api::Executor inline_executor({.jobs = 1});
+  api::RunRequest other_plain = zdt1_request("moela", 11);
+  const api::RunReport other_direct =
+      inline_executor.run_all({other_plain}).front();
+  const api::RunReport other_served = fixture.client.run({other}).front();
+  expect_equal_modulo_cache(other_direct, other_served);
+}
+
+TEST(Serve, SeveredConnectionMidBatchLeavesDaemonServing) {
+  ServeConfig config;
+  config.jobs = 2;
+  ServerFixture fixture(config);
+
+  // A raw client submits a bounded checkpointing run with progress on,
+  // reads one cadence event to prove the batch is mid-flight, then severs
+  // the connection with no goodbye — the crashed-coordinator case.
+  {
+    fault::RawConnection raw(fixture.server->port());
+    api::RunRequest request = zdt1_request("moela", 3);
+    request.checkpoint = true;
+    Json requests_json = Json::array();
+    requests_json.append(api::request_to_json(request));
+    Json run = Json::object();
+    run.set("id", 1)
+        .set("verb", "run")
+        .set("requests", std::move(requests_json))
+        .set("progress", true);
+    ASSERT_TRUE(raw.send(run.dump()));
+    fault::FaultTrigger sever_trigger(1);
+    std::string line;
+    while (raw.read_line(line)) {
+      if (line.empty()) continue;
+      const auto message = Json::try_parse(line, nullptr);
+      ASSERT_TRUE(message.has_value()) << line;
+      if (message->find("event") != nullptr && sever_trigger.fire()) break;
+    }
+    ASSERT_TRUE(sever_trigger.fired()) << "no event before the connection "
+                                          "would have closed";
+    raw.sever();
+  }
+
+  // The daemon survives the abandonment: the orphaned batch runs to
+  // completion server-side, slots drain to zero, and a fresh client gets
+  // full service.
+  const Json drained = wait_for_health(fixture.client, [](const Json& h) {
+    return util::u64_field_or(h, "inflight", 0) == 0 &&
+           util::u64_field_or(h, "runs_handled", 0) >= 1;
+  });
+  EXPECT_TRUE(drained.find("accepting")->as_bool());
+  const api::RunReport after =
+      fixture.client.run({zdt1_request("nsga2")}).front();
+  EXPECT_EQ(after.evaluations, 600u);
 }
 
 // --- shutdown -------------------------------------------------------------

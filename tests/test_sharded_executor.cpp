@@ -3,9 +3,11 @@
 // coordinator. The acceptance property is the ISSUE/ROADMAP one — a
 // fixed-seed sweep sharded across >= 2 daemons merges bit-identical to the
 // same sweep run inline, in request order, under both placement policies —
-// plus the fault paths: a dead shard's slice retried onto the survivor,
-// exhausted attempt caps failing the batch with attributable errors, the
-// local fallback, and stop-before-run cancellation.
+// plus the fault paths (tests/fault_injection.hpp): a daemon SIGKILLed
+// mid-run whose partial work resumes on the survivor from its streamed
+// snapshot, a dead shard's slice retried onto the survivor, exhausted
+// attempt caps failing the batch with attributable errors, the local
+// fallback, and stop-before-run cancellation.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -14,17 +16,19 @@
 #include <string>
 #include <vector>
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "api/executor.hpp"
 #include "api/request.hpp"
 #include "api/sharded_executor.hpp"
+#include "fault_injection.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "util/json.hpp"
 
 namespace moela::api {
 namespace {
+
+using fault::AcceptAndCloseEndpoint;
+using fault::closed_port;
 
 RunRequest zdt1_request(const std::string& algorithm, std::uint64_t seed) {
   RunRequest request;
@@ -61,59 +65,6 @@ std::unique_ptr<serve::Server> make_server(std::size_t jobs = 1) {
   server->start();
   return server;
 }
-
-/// A loopback port with nothing listening on it: bound once to reserve a
-/// number the kernel will then refuse connections to.
-int closed_port() {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
-  socklen_t len = sizeof(addr);
-  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
-  const int port = ntohs(addr.sin_port);
-  ::close(fd);
-  return port;
-}
-
-/// A listener that accepts one connection and immediately closes it: the
-/// coordinator's connect succeeds, but the first chunk submitted on the
-/// connection fails at the transport level — the deterministic stand-in
-/// for a daemon that dies mid-run after joining the fleet.
-struct AcceptAndCloseEndpoint {
-  AcceptAndCloseEndpoint() {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0;
-    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
-              0);
-    EXPECT_EQ(::listen(fd, 4), 0);
-    socklen_t len = sizeof(addr);
-    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
-              0);
-    port = ntohs(addr.sin_port);
-    closer = std::thread([this] {
-      for (;;) {
-        const int conn = ::accept(fd, nullptr, nullptr);
-        if (conn < 0) return;  // listener shut down
-        ::close(conn);
-      }
-    });
-  }
-  ~AcceptAndCloseEndpoint() {
-    ::shutdown(fd, SHUT_RDWR);  // wakes the blocked accept
-    if (closer.joinable()) closer.join();
-    ::close(fd);
-  }
-
-  int fd = -1;
-  int port = 0;
-  std::thread closer;
-};
 
 void expect_equal_modulo_cache(const RunReport& inline_report,
                                const RunReport& sharded_report) {
@@ -328,6 +279,98 @@ TEST(ShardedExecutor, MidRunTransportFailureHandsWholeSliceToSurvivor) {
   EXPECT_EQ(stats[0].completed, 0u);
   EXPECT_GE(stats[0].failures, 1u);
   EXPECT_EQ(stats[1].completed, sweep.size());
+}
+
+TEST(ShardedExecutor, DaemonKilledMidRunResumesOnSurvivorBitIdentical) {
+  // THE PR 9 acceptance property, end to end: a real moela_serve daemon is
+  // SIGKILLed with runs in flight, the coordinator requeues its slice onto
+  // the survivor WITH the latest streamed snapshots, the survivor resumes
+  // (replays) the partial runs — and the merged batch is bit-identical to
+  // an uninterrupted inline sweep. Deterministic: the kill fires on the
+  // first snapshot-cadence event from a victim-owned request, which the
+  // coordinator harvested BEFORE forwarding, so a resume point provably
+  // exists.
+  std::vector<RunRequest> sweep;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RunRequest request = zdt1_request("moela", seed);
+    request.options.max_evaluations = 2400;
+    request.options.snapshot_interval = 200;
+    sweep.push_back(std::move(request));
+  }
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  auto survivor = make_server(2);
+  fault::DaemonProcess victim({"--no-cache", "--jobs", "2"});
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", survivor->port()},
+                      {"127.0.0.1", victim.port()}};
+  config.policy = ShardPolicy::kRoundRobin;  // victim owns the odd indices
+  config.stream_progress = true;
+  ShardedExecutor sharded(config);
+
+  fault::FaultTrigger kill_trigger(1);
+  RunControl control;
+  control.on_progress([&](const RunProgress& progress) {
+    if (!progress.finished && progress.batch_index % 2 == 1 &&
+        kill_trigger.fire()) {
+      victim.kill();
+    }
+  });
+  const std::vector<RunReport> merged = sharded.run_all(sweep, &control);
+  EXPECT_TRUE(kill_trigger.fired());
+  EXPECT_FALSE(victim.alive());
+
+  // Bit-identity despite the crash: every report, including the ones that
+  // started on the victim and finished on the survivor, matches the
+  // uninterrupted inline run.
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].provenance.seed, sweep[i].options.seed);
+    expect_equal_modulo_cache(reference[i], merged[i]);
+    EXPECT_FALSE(merged[i].provenance.cancelled) << i;
+  }
+
+  // The continuation really was a RESUME, not a re-run: the survivor
+  // completed at least one request from a mid-run snapshot, and its daemon
+  // counted it.
+  const std::vector<ShardStats>& stats = sharded.shard_stats();
+  EXPECT_GE(stats[1].failures, 1u);
+  EXPECT_FALSE(stats[1].error.empty());
+  EXPECT_GE(stats[0].resumed, 1u);
+  EXPECT_EQ(stats[0].completed + stats[1].completed, sweep.size());
+  serve::Client probe;
+  probe.connect("127.0.0.1", survivor->port());
+  const util::Json health = probe.health();
+  EXPECT_GE(health.find("runs_resumed")->as_u64(), 1u);
+}
+
+TEST(ShardedExecutor, TransportDeathBeforeStartDoesNotChargeAttempts) {
+  // The PR 9 attempt-accounting fix: a shard that dies before emitting a
+  // single event for a request never executed it, so the requeue must not
+  // charge the request's attempt cap. With max_attempts = 1 and solo
+  // chunks, ANY spurious charge fails the batch — before the fix, this
+  // test threw "1 attempt(s)" for the evil shard's whole slice.
+  const std::vector<RunRequest> sweep = sweep_requests();
+  const std::vector<RunReport> reference = inline_reports(sweep);
+
+  AcceptAndCloseEndpoint evil;
+  auto survivor = make_server();
+  ShardedExecutorConfig config;
+  config.endpoints = {{"127.0.0.1", evil.port},
+                      {"127.0.0.1", survivor->port()}};
+  config.policy = ShardPolicy::kRoundRobin;
+  config.probe_health = false;
+  config.steal_chunk = 1;   // size-1 chunks: the per-request charging path
+  config.max_attempts = 1;  // zero tolerance for a spurious charge
+  ShardedExecutor sharded(config);
+  const std::vector<RunReport> merged = sharded.run_all(sweep);
+
+  ASSERT_EQ(merged.size(), sweep.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    expect_equal_modulo_cache(reference[i], merged[i]);
+  }
+  EXPECT_EQ(sharded.shard_stats()[0].completed, 0u);
+  EXPECT_EQ(sharded.shard_stats()[1].completed, sweep.size());
 }
 
 TEST(ShardedExecutor, HealthProbeLeavesDeadShardOutOfPlacement) {

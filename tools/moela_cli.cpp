@@ -823,6 +823,9 @@ int run_sharded(const CliOptions& cli) {
       if (shard.failures > 0) {
         note += ", " + std::to_string(shard.failures) + " failure(s)";
       }
+      if (shard.resumed > 0) {
+        note += ", " + std::to_string(shard.resumed) + " resumed";
+      }
       if (!shard.error.empty()) note += ": " + shard.error;
       std::fprintf(stderr, "moela_cli: shard %s: %zu run(s)%s\n",
                    shard.endpoint.c_str(), shard.completed, note.c_str());

@@ -77,6 +77,12 @@ void print_usage(std::FILE* to) {
                "  --run-log PATH     append one JSONL record per completed "
                "run\n"
                "                     (default $MOELA_RUN_LOG)\n"
+               "  --snapshot-dir PATH  persist checkpointing runs' "
+               "RunSnapshots under\n"
+               "                     PATH (atomic, schema-salted files); "
+               "an interrupted\n"
+               "                     run resumes from its file "
+               "bit-identically\n"
                "  --metrics-dump PATH  write the final telemetry snapshot "
                "as Prometheus\n"
                "                     text exposition to PATH at drain "
@@ -181,6 +187,11 @@ std::optional<ServeCliOptions> parse_args(
     } else if (arg == "--run-log") {
       if ((v = need_value(i, "--run-log")) == nullptr) return std::nullopt;
       cli.run_log_path = v;
+    } else if (arg == "--snapshot-dir") {
+      if ((v = need_value(i, "--snapshot-dir")) == nullptr) {
+        return std::nullopt;
+      }
+      cli.config.snapshot_dir = v;
     } else if (arg == "--metrics-dump") {
       if ((v = need_value(i, "--metrics-dump")) == nullptr) {
         return std::nullopt;
