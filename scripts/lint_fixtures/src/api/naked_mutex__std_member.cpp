@@ -1,0 +1,23 @@
+// Fixture: raw std synchronization vocabulary outside the annotated
+// wrapper header. Each token is invisible to Clang Thread Safety
+// Analysis, so the naked-mutex rule must flag all of them.
+#include <condition_variable>
+#include <mutex>
+
+namespace moela::api {
+
+class Fixture {
+ public:
+  void poke() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int value_ = 0;
+};
+
+}  // namespace moela::api

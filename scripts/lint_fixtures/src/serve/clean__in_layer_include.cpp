@@ -1,0 +1,13 @@
+// Fixture: legal include edges — sideways within serve/ (same rank) and
+// downward into api/ and util/ (lower ranks). The layer-order rule must
+// accept all of them.
+#include "serve/protocol.hpp"
+
+#include "api/executor.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace moela::serve {
+
+int fixture() { return 0; }
+
+}  // namespace moela::serve

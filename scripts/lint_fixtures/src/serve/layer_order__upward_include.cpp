@@ -1,0 +1,10 @@
+// Fixture: an upward include edge — serve/ (rank 4) reaching into exp/
+// (rank 5) inverts the layer DAG of docs/architecture.md, so the
+// layer-order rule must flag it.
+#include "exp/driver.hpp"
+
+namespace moela::serve {
+
+int fixture() { return 0; }
+
+}  // namespace moela::serve

@@ -21,6 +21,24 @@ on, which no off-the-shelf tool knows about (see docs/correctness.md):
   include-guard          Every header uses exactly one #pragma once, before
                          any code; legacy #ifndef guards are banned (two
                          styles drift apart).
+  naked-mutex            Raw std synchronization vocabulary (std::mutex and
+                         friends, std::condition_variable, std::lock_guard/
+                         unique_lock/scoped_lock/shared_lock, std::call_once)
+                         is banned outside util/thread_annotations.hpp: only
+                         the annotated util::Mutex/MutexLock/CondVar wrappers
+                         participate in Clang Thread Safety Analysis, so a
+                         raw mutex (or a std lock over a util::Mutex) is a
+                         hole in the compile-time concurrency proof.
+  layer-order            The layer DAG of docs/architecture.md is normative:
+                         quoted #include edges across src/ + tools/ may point
+                         sideways or down, never up (e.g. serve/ must not
+                         include exp/). The one sanctioned inversion —
+                         api/sharded_executor acting as a serve/ client —
+                         carries explicit waivers.
+
+The linter runs two passes: pass 1 applies the per-file lexical rules
+above; pass 2 parses every quoted #include edge across src/ + tools/ and
+checks the edge list against the declared layer DAG.
 
 Waivers: a finding is suppressed by an annotation on the same line or the
 line directly above, with a mandatory reason:
@@ -45,6 +63,34 @@ SOURCE_DIRS = ("src", "tools", "bench", "examples", "tests")
 
 # Files allowed to touch raw randomness sources.
 RNG_EXEMPT = ("src/util/rng.hpp", "src/util/rng.cpp")
+
+# The one file allowed to name raw std synchronization types: the
+# annotated wrappers themselves.
+THREAD_WRAPPER = "src/util/thread_annotations.hpp"
+
+# Pass 2 (layer-order): the normative layer DAG from docs/architecture.md.
+# Rank increases bottom-up; same-rank includes are allowed, upward edges
+# are findings. src/<dir>/... maps through <dir>; tools/ is its own layer.
+LAYER_RANK = {
+    "util": 0,
+    "moo": 1,
+    "ml": 1,
+    "noc": 1,
+    "sim": 1,
+    "problems": 1,
+    "core": 2,
+    "baselines": 2,
+    "api": 3,
+    "serve": 4,
+    "exp": 5,
+    "tools": 6,
+}
+# Directories whose files get layer-order checking (tests/bench/examples
+# sit outside the DAG and may include anything).
+LAYER_DIRS = ("src", "tools")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+INCLUDE_HEAD_RE = re.compile(r'^\s*#\s*include\s+"')
 
 # Files whose double formatting defines the wire/cache format.
 WIRE_FILE_PATTERNS = (
@@ -79,6 +125,16 @@ RULES = {
     ],
     "using-namespace-header": [
         (re.compile(r"\busing\s+namespace\b"), "using namespace"),
+    ],
+    "naked-mutex": [
+        (re.compile(r"\bstd::(?:\w+_)*mutex\b"), "raw std mutex type"),
+        (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+         "raw std::condition_variable"),
+        (re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|"
+                    r"shared_lock)\b"),
+         "raw std lock type"),
+        (re.compile(r"\bstd::(?:call_once|once_flag)\b"),
+         "std::call_once/once_flag"),
     ],
 }
 
@@ -246,15 +302,68 @@ def check_pragma_once(rel: str, code_lines: list[str]) -> list[Finding]:
     return findings
 
 
-def lint_file(root: Path, path: Path) -> tuple[list[Finding], list[str]]:
-    rel = path.relative_to(root).as_posix()
-    text = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = text.split("\n")
-    code, strings = strip_comments_and_strings(text)
-    code_lines = code.split("\n")
-    string_lines = strings.split("\n")
-    waivers = waivers_by_line(raw_lines)
+class FileAnalysis:
+    """One parsed source file: everything both passes need."""
 
+    def __init__(self, root: Path, path: Path):
+        self.rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.split("\n")
+        code, strings = strip_comments_and_strings(text)
+        self.code_lines = code.split("\n")
+        self.string_lines = strings.split("\n")
+        self.waivers = waivers_by_line(self.raw_lines)
+
+
+def file_layer(rel: str) -> str | None:
+    """The layer a file belongs to, or None when outside the DAG."""
+    parts = rel.split("/")
+    if parts[0] == "tools":
+        return "tools"
+    if parts[0] == "src" and len(parts) > 2 and parts[1] in LAYER_RANK:
+        return parts[1]
+    return None
+
+
+def layer_findings(analysis: FileAnalysis) -> tuple[list[Finding], int]:
+    """Pass 2 for one file: every quoted include is an edge; an edge whose
+    target layer ranks above the including file's layer inverts the
+    architecture. Returns (findings, edge_count)."""
+    layer = file_layer(analysis.rel)
+    if layer is None:
+        return [], 0
+    findings: list[Finding] = []
+    edges = 0
+    for i, (code_line, raw_line) in enumerate(
+            zip(analysis.code_lines, analysis.raw_lines), start=1):
+        # The stripper blanks string contents out of code lines (the path
+        # is a string literal), so the directive is recognized on the
+        # stripped line — proving it is not inside a comment — and the
+        # path itself read from the raw line.
+        if not INCLUDE_HEAD_RE.match(code_line):
+            continue
+        m = INCLUDE_RE.match(raw_line)
+        if not m:
+            continue
+        target_top = m.group(1).split("/", 1)[0]
+        if target_top not in LAYER_RANK:
+            continue  # relative or third-party include: not a layer edge
+        edges += 1
+        if LAYER_RANK[target_top] > LAYER_RANK[layer]:
+            findings.append(Finding(
+                analysis.rel, i, "layer-order",
+                f"{layer}/ (rank {LAYER_RANK[layer]}) includes "
+                f'"{m.group(1)}" from {target_top}/ (rank '
+                f"{LAYER_RANK[target_top]}): an upward edge inverts the "
+                "layer DAG of docs/architecture.md"))
+    return findings, edges
+
+
+def lexical_findings(analysis: FileAnalysis) -> list[Finding]:
+    """Pass 1 for one file: the per-file determinism + concurrency rules."""
+    rel = analysis.rel
+    code_lines = analysis.code_lines
+    string_lines = analysis.string_lines
     raw_findings: list[Finding] = []
 
     if not any(rel == e for e in RNG_EXEMPT):
@@ -291,8 +400,23 @@ def lint_file(root: Path, path: Path) -> tuple[list[Finding], list[str]]:
                         "using namespace in a header leaks into every "
                         "includer"))
 
-    raw_findings.extend(check_pragma_once(rel, code_lines))
+    if rel != THREAD_WRAPPER:
+        for pattern, what in RULES["naked-mutex"]:
+            for i, line in enumerate(code_lines, start=1):
+                if pattern.search(line):
+                    raw_findings.append(Finding(
+                        rel, i, "naked-mutex",
+                        f"{what}: use util::Mutex/MutexLock/CondVar "
+                        "(util/thread_annotations.hpp) so Clang Thread "
+                        "Safety Analysis sees the lock"))
 
+    raw_findings.extend(check_pragma_once(rel, code_lines))
+    return raw_findings
+
+
+def apply_waivers(raw_findings: list[Finding],
+                  waivers: dict[int, tuple[str, str, int]],
+                  ) -> tuple[list[Finding], list[str]]:
     findings: list[Finding] = []
     active_waivers: list[str] = []
     for f in raw_findings:
@@ -312,6 +436,14 @@ def lint_file(root: Path, path: Path) -> tuple[list[Finding], list[str]]:
     return findings, active_waivers
 
 
+def lint_file(root: Path, path: Path) -> tuple[list[Finding], list[str]]:
+    """Single-file entry point (fixtures/self-test): both passes, waived."""
+    analysis = FileAnalysis(root, path)
+    raw = lexical_findings(analysis)
+    raw.extend(layer_findings(analysis)[0])
+    return apply_waivers(raw, analysis.waivers)
+
+
 def iter_sources(root: Path):
     for d in SOURCE_DIRS:
         base = root / d
@@ -323,12 +455,27 @@ def iter_sources(root: Path):
 
 
 def lint_tree(root: Path, list_waivers: bool) -> int:
+    # Pass 1 — per-file lexical rules (determinism, wire format, headers,
+    # naked synchronization vocabulary).
+    analyses: list[FileAnalysis] = []
+    raw: dict[str, list[Finding]] = {}
+    for path in iter_sources(root):
+        analysis = FileAnalysis(root, path)
+        analyses.append(analysis)
+        raw[analysis.rel] = lexical_findings(analysis)
+    # Pass 2 — architecture conformance: the quoted-include edge list of
+    # src/ + tools/, checked against the declared layer DAG.
+    edge_count = 0
+    for analysis in analyses:
+        findings, edges = layer_findings(analysis)
+        raw[analysis.rel].extend(findings)
+        edge_count += edges
+    # Waiver resolution + report.
     all_findings: list[Finding] = []
     all_waivers: list[str] = []
-    count = 0
-    for path in iter_sources(root):
-        count += 1
-        findings, waivers = lint_file(root, path)
+    for analysis in analyses:
+        findings, waivers = apply_waivers(raw[analysis.rel],
+                                          analysis.waivers)
         all_findings.extend(findings)
         all_waivers.extend(waivers)
     for f in all_findings:
@@ -337,8 +484,9 @@ def lint_tree(root: Path, list_waivers: bool) -> int:
         print("-- active waivers --")
         for w in all_waivers:
             print(w)
-    summary = (f"moela_lint: {count} file(s), {len(all_findings)} "
-               f"finding(s), {len(all_waivers)} waiver(s)")
+    summary = (f"moela_lint: {len(analyses)} file(s), {edge_count} "
+               f"include edge(s), {len(all_findings)} finding(s), "
+               f"{len(all_waivers)} waiver(s)")
     print(summary, file=sys.stderr)
     return 1 if all_findings else 0
 

@@ -101,7 +101,7 @@ Executor::Executor(ExecutorConfig config) : config_(config) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   wake_.notify_all();
@@ -112,8 +112,8 @@ void Executor::worker_loop() {
   for (;;) {
     std::packaged_task<RunReport()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -134,7 +134,7 @@ std::vector<std::future<RunReport>> Executor::submit(
   std::vector<std::future<RunReport>> futures;
   futures.reserve(requests.size());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < requests.size(); ++i) {
       std::packaged_task<RunReport()> task(
           [this, request = std::move(requests[i]), control, i, batch] {

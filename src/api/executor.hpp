@@ -22,13 +22,11 @@
 //     hits is served without running (provenance.cache_hit = true).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -36,6 +34,7 @@
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::api {
 
@@ -130,10 +129,10 @@ class Executor {
   util::Counter* runs_resumed_ = nullptr;
   std::size_t jobs_ = 0;
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<RunReport()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool shutting_down_ = false;
+  util::Mutex mutex_;
+  util::CondVar wake_;
+  std::deque<std::packaged_task<RunReport()>> queue_ MOELA_GUARDED_BY(mutex_);
+  bool shutting_down_ MOELA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace moela::api

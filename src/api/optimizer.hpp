@@ -20,7 +20,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "api/any_problem.hpp"
 #include "core/eval_context.hpp"
 #include "moo/objective.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::api {
 
@@ -175,20 +175,22 @@ class RunControl {
   /// (serialized by an internal mutex); keep it cheap and do not call back
   /// into the Executor from it.
   void on_progress(std::function<void(const RunProgress&)> callback) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     callback_ = std::move(callback);
   }
 
   /// Delivers one progress event to the callback (no-op without one).
   void notify(const RunProgress& progress) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (callback_) callback_(progress);
   }
 
  private:
+  /// Lock-free by design: request_stop() must stay async-signal-safe, so
+  /// the stop flag is a relaxed atomic, never guarded by mutex_.
   std::atomic<bool> stop_{false};
-  std::mutex mutex_;
-  std::function<void(const RunProgress&)> callback_;
+  util::Mutex mutex_;
+  std::function<void(const RunProgress&)> callback_ MOELA_GUARDED_BY(mutex_);
 };
 
 /// Where a report came from: enough to reproduce (or cache-key) the run.

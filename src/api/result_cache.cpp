@@ -323,7 +323,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
                                              bool need_designs) {
   if (key.empty()) return std::nullopt;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = memory_.find(key);
     // The designs check also applies here: a disk entry stored without
     // designs gets promoted into the memory tier below, and must not
@@ -349,7 +349,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
         // least-recently-USED, not least-recently-written.
         std::error_code ec;
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         ++stats_.disk_hits;
         if (metric_disk_hits_ != nullptr) metric_disk_hits_->add();
         memory_.emplace(key, *report);
@@ -357,7 +357,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
       }
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++stats_.misses;
   if (metric_misses_ != nullptr) metric_misses_->add();
   return std::nullopt;
@@ -366,7 +366,7 @@ std::optional<RunReport> ResultCache::lookup(const std::string& key,
 void ResultCache::store(const std::string& key, const RunReport& report) {
   if (key.empty() || report.provenance.cancelled) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     memory_.insert_or_assign(key, report);
     ++stats_.stores;
     if (metric_stores_ != nullptr) metric_stores_->add();
@@ -400,10 +400,13 @@ void ResultCache::store(const std::string& key, const RunReport& report) {
     fs::remove(temp_path, ec);
     return;
   }
-  if (max_disk_bytes_ > 0) enforce_disk_cap(stem + ".moela");
+  if (max_disk_bytes() > 0) enforce_disk_cap(stem + ".moela");
 }
 
 void ResultCache::enforce_disk_cap(const std::string& keep) {
+  // One cap snapshot for the whole pass, so a concurrent
+  // set_max_disk_bytes() cannot make the two threshold checks disagree.
+  const std::uintmax_t cap = max_disk_bytes();
   std::error_code ec;
   struct Entry {
     fs::path path;
@@ -421,7 +424,7 @@ void ResultCache::enforce_disk_cap(const std::string& keep) {
     total += entry.size;
     entries.push_back(std::move(entry));
   }
-  if (total <= max_disk_bytes_) return;
+  if (total <= cap) return;
   // Oldest-used first; the just-written entry sorts last so it only goes
   // when it alone exceeds the cap.
   std::sort(entries.begin(), entries.end(), [&](const Entry& a,
@@ -433,14 +436,14 @@ void ResultCache::enforce_disk_cap(const std::string& keep) {
   });
   std::size_t evicted = 0;
   for (const auto& entry : entries) {
-    if (total <= max_disk_bytes_) break;
+    if (total <= cap) break;
     if (fs::remove(entry.path, ec) && !ec) {
       total -= entry.size;
       ++evicted;
     }
   }
   if (evicted > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stats_.evictions += evicted;
     if (metric_evictions_ != nullptr) metric_evictions_->add(evicted);
   }
@@ -471,7 +474,7 @@ void ResultCache::set_metrics(util::MetricsRegistry* metrics) {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -21,16 +21,17 @@
 // workers. Cross-process disk writes are atomic (write-temp + rename).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "api/optimizer.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::api {
 
@@ -53,9 +54,17 @@ class ResultCache {
   /// Caps the total size of the disk tier. After every store, entry files
   /// are evicted least-recently-USED first (a lookup hit refreshes an
   /// entry's file time) until the tier fits. 0 disables the cap. The
-  /// constructor seeds this from default_max_disk_bytes().
-  void set_max_disk_bytes(std::uintmax_t bytes) { max_disk_bytes_ = bytes; }
-  std::uintmax_t max_disk_bytes() const { return max_disk_bytes_; }
+  /// constructor seeds this from default_max_disk_bytes(). Atomic so a cap
+  /// change may race concurrent store() calls safely: the cap is a fleet
+  /// tuning knob, not part of any report, so relaxed ordering suffices —
+  /// an in-flight store applies either the old or the new cap, and the
+  /// next store applies the new one.
+  void set_max_disk_bytes(std::uintmax_t bytes) {
+    max_disk_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  std::uintmax_t max_disk_bytes() const {
+    return max_disk_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Returns the cached report for `key`, or nullopt. `need_designs`
   /// rejects disk entries stored without designs (see file comment).
@@ -93,12 +102,18 @@ class ResultCache {
   /// sparing the just-written `keep` (unless it alone busts the cap).
   void enforce_disk_cap(const std::string& keep);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, RunReport> memory_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, RunReport> memory_ MOELA_GUARDED_BY(mutex_);
+  /// Immutable after construction — readable lock-free.
   std::string dir_;
-  std::uintmax_t max_disk_bytes_ = default_max_disk_bytes();
-  Stats stats_;
-  /// Pre-resolved telemetry handles; null until set_metrics().
+  /// Lock-free by design (see set_max_disk_bytes above), so deliberately
+  /// not MOELA_GUARDED_BY(mutex_).
+  std::atomic<std::uintmax_t> max_disk_bytes_{default_max_disk_bytes()};
+  Stats stats_ MOELA_GUARDED_BY(mutex_);
+  /// Pre-resolved telemetry handles; null until set_metrics(), which the
+  /// contract requires to run before concurrent use — after that the
+  /// pointers are read-only and the Counters they point at are themselves
+  /// relaxed atomics, so no capability is needed here.
   util::Counter* metric_memory_hits_ = nullptr;
   util::Counter* metric_disk_hits_ = nullptr;
   util::Counter* metric_misses_ = nullptr;

@@ -44,8 +44,12 @@ Json base_record(const RunRequest& request, double wall_seconds) {
 }  // namespace
 
 RunLogger::RunLogger(const std::string& path) : path_(path) {
+  // No lock needed in the constructor: no other thread can hold a
+  // reference yet. ok_ is never written again after this.
+  util::MutexLock lock(mutex_);
   out_.open(path, std::ios::app);
-  if (!out_) {
+  ok_ = static_cast<bool>(out_);
+  if (!ok_) {
     // Callers decide severity: tools fail fast on an explicit --run-log,
     // the $MOELA_RUN_LOG fallback just proceeds without logging.
     std::fprintf(stderr, "moela: run log '%s' could not be opened\n",
@@ -54,8 +58,8 @@ RunLogger::RunLogger(const std::string& path) : path_(path) {
 }
 
 void RunLogger::write_line(const std::string& line) {
-  if (!out_.is_open()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_) return;  // immutable post-ctor: safe to check before locking
+  util::MutexLock lock(mutex_);
   out_ << line << '\n';
   out_.flush();  // records must survive a daemon kill
 }

@@ -14,11 +14,11 @@
 
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/optimizer.hpp"
 #include "api/request.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::api {
 
@@ -28,7 +28,7 @@ class RunLogger {
   /// (append() is then a no-op — logging is best-effort, never fatal).
   explicit RunLogger(const std::string& path);
 
-  bool ok() const { return out_.is_open(); }
+  bool ok() const { return ok_; }
   const std::string& path() const { return path_; }
 
   /// Appends one record for a finished run. `wall_seconds` is the
@@ -49,8 +49,13 @@ class RunLogger {
   void write_line(const std::string& line);
 
   std::string path_;
-  std::mutex mutex_;
-  std::ofstream out_;
+  /// Whether the constructor's open succeeded. Immutable afterwards, so
+  /// ok() and the write_line() fast path can read it lock-free — unlike
+  /// the previous out_.is_open() probe, which touched the guarded stream
+  /// outside the lock.
+  bool ok_ = false;
+  util::Mutex mutex_;
+  std::ofstream out_ MOELA_GUARDED_BY(mutex_);
 };
 
 }  // namespace moela::api

@@ -2,20 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "api/executor.hpp"
 #include "api/snapshot.hpp"
+// The documented exception to the layer DAG (docs/architecture.md): the
+// sharding coordinator lives in api/ but acts as a serve/ protocol client.
+// moela-lint: allow(layer-order) coordinator-as-client exception, see docs/architecture.md
 #include "serve/client.hpp"
+// moela-lint: allow(layer-order) coordinator-as-client exception, see docs/architecture.md
 #include "serve/protocol.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::api {
 namespace {
@@ -27,36 +30,58 @@ using util::Json;
 /// every requeued index. An index is always in exactly one place: some
 /// owned queue, pending, in flight at a shard, or retired (done/failed).
 struct SharedState {
-  std::mutex mutex;
-  std::condition_variable work_cv;
-  std::deque<std::size_t> pending;
-  std::vector<std::deque<std::size_t>> owned;
-  std::size_t owned_total = 0;
-  std::size_t inflight = 0;
-  std::vector<std::size_t> attempts;
-  std::vector<std::string> request_error;
-  std::vector<char> done;
-  std::vector<char> failed;  // attempts exhausted; never requeued again
+  util::Mutex mutex;
+  util::CondVar work_cv;
+  std::deque<std::size_t> pending MOELA_GUARDED_BY(mutex);
+  std::vector<std::deque<std::size_t>> owned MOELA_GUARDED_BY(mutex);
+  std::size_t owned_total MOELA_GUARDED_BY(mutex) = 0;
+  std::size_t inflight MOELA_GUARDED_BY(mutex) = 0;
+  std::vector<std::size_t> attempts MOELA_GUARDED_BY(mutex);
+  std::vector<std::string> request_error MOELA_GUARDED_BY(mutex);
+  std::vector<char> done MOELA_GUARDED_BY(mutex);
+  // attempts exhausted; never requeued again
+  std::vector<char> failed MOELA_GUARDED_BY(mutex);
   /// Member of a failed multi-request chunk: must be retried ALONE so the
   /// failure is attributable to it (and charged to it) rather than to
   /// whatever shared its wire batch.
-  std::vector<char> solo;
+  std::vector<char> solo MOELA_GUARDED_BY(mutex);
   /// Requests that have fired a `finished` progress event, so retried
   /// chunks (which re-fire events for re-executed members) cannot inflate
   /// the forwarded `completed` count.
-  std::vector<char> finish_reported;
-  std::size_t finish_count = 0;
+  std::vector<char> finish_reported MOELA_GUARDED_BY(mutex);
+  std::size_t finish_count MOELA_GUARDED_BY(mutex) = 0;
   /// Requests for which any event has arrived — proof the daemon actually
   /// started executing them. A transport failure charges an attempt only
   /// for started requests: a request whose shard died before touching it
   /// has not consumed anything.
-  std::vector<char> started;
+  std::vector<char> started MOELA_GUARDED_BY(mutex);
   /// Latest harvested RunSnapshot per request (null until one arrives).
   /// A requeued request ships this to its next shard so the continuation
   /// resumes instead of restarting.
-  std::vector<std::shared_ptr<const RunSnapshot>> latest_snapshot;
+  std::vector<std::shared_ptr<const RunSnapshot>> latest_snapshot
+      MOELA_GUARDED_BY(mutex);
+  /// Lock-free by design: shard threads poll it at chunk boundaries and a
+  /// stop must be visible without waiting on whoever holds the mutex.
   std::atomic<bool> stopped{false};
 };
+
+/// Moves indices from `queue` into `chunk` until it holds `chunk_size`,
+/// honoring the solo discipline (a `solo` request always rides alone — see
+/// SharedState::solo). A named function rather than a lambda inside the
+/// locked scope because the analyzer treats lambdas as separate, lock-free
+/// functions; here the held capability is stated explicitly.
+void pull_from(SharedState& shared, std::deque<std::size_t>& queue,
+               bool owned, std::vector<std::size_t>& chunk,
+               std::size_t chunk_size) MOELA_REQUIRES(shared.mutex) {
+  while (!queue.empty() && chunk.size() < chunk_size) {
+    const std::size_t next = queue.front();
+    if (shared.solo[next] && !chunk.empty()) break;
+    queue.pop_front();
+    if (owned) --shared.owned_total;
+    chunk.push_back(next);
+    if (shared.solo[next]) break;
+  }
+}
 
 /// One shard thread: owns one connection, pulls chunks (its static slice
 /// first, then the shared pool), submits them, and merges replies into
@@ -98,7 +123,7 @@ void run_shard(const ShardedExecutorConfig& config,
   } catch (const std::exception& e) {
     // Never reached a daemon, so this is not an attempt on any request:
     // hand the static slice to the surviving shards and retire.
-    std::lock_guard<std::mutex> lock(shared.mutex);
+    util::MutexLock lock(shared.mutex);
     stats.healthy = false;
     stats.failures += 1;
     stats.error = e.what();
@@ -115,7 +140,7 @@ void run_shard(const ShardedExecutorConfig& config,
   for (;;) {
     std::vector<std::size_t> chunk;
     {
-      std::unique_lock<std::mutex> lock(shared.mutex);
+      util::MutexLock lock(shared.mutex);
       for (;;) {
         if (control != nullptr && control->stop_requested()) {
           shared.stopped.store(true, std::memory_order_relaxed);
@@ -124,22 +149,12 @@ void run_shard(const ShardedExecutorConfig& config,
           shared.work_cv.notify_all();
           return;
         }
-        // Fill the chunk, except that a `solo` request always rides alone
-        // (see SharedState::solo).
-        auto pull_from = [&](std::deque<std::size_t>& queue, bool owned) {
-          while (!queue.empty() && chunk.size() < chunk_size) {
-            const std::size_t next = queue.front();
-            if (shared.solo[next] && !chunk.empty()) break;
-            queue.pop_front();
-            if (owned) --shared.owned_total;
-            chunk.push_back(next);
-            if (shared.solo[next]) break;
-          }
-        };
-        pull_from(shared.owned[shard], /*owned=*/true);
+        pull_from(shared, shared.owned[shard], /*owned=*/true, chunk,
+                  chunk_size);
         if (chunk.empty() || (chunk.size() < chunk_size &&
                               !shared.solo[chunk.front()])) {
-          pull_from(shared.pending, /*owned=*/false);
+          pull_from(shared, shared.pending, /*owned=*/false, chunk,
+                    chunk_size);
         }
         if (!chunk.empty()) {
           shared.inflight += chunk.size();
@@ -164,7 +179,7 @@ void run_shard(const ShardedExecutorConfig& config,
       // Attach the latest harvested snapshots (under the mutex: a peer's
       // handler may be storing new ones concurrently). A request seen
       // before resumes mid-run on this shard instead of starting over.
-      std::lock_guard<std::mutex> lock(shared.mutex);
+      util::MutexLock lock(shared.mutex);
       for (std::size_t k = 0; k < chunk.size(); ++k) {
         batch[k].checkpoint = true;
         batch[k].resume = shared.latest_snapshot[chunk[k]];
@@ -189,7 +204,7 @@ void run_shard(const ShardedExecutorConfig& config,
           // later transport failure then charges its attempt), and a
           // snapshot payload becomes its resume point. A garbled snapshot
           // keeps the previous one: never resume from garbage.
-          std::lock_guard<std::mutex> lock(shared.mutex);
+          util::MutexLock lock(shared.mutex);
           shared.started[chunk[local]] = 1;
           if (config.checkpoint) {
             if (const Json* snap = event.find("snapshot")) {
@@ -225,7 +240,7 @@ void run_shard(const ShardedExecutorConfig& config,
             // First completion per request only: a retried chunk re-fires
             // events for re-executed members, which must not advance (or
             // overrun) the forwarded count.
-            std::lock_guard<std::mutex> lock(shared.mutex);
+            util::MutexLock lock(shared.mutex);
             if (!shared.finish_reported[progress.batch_index]) {
               shared.finish_reported[progress.batch_index] = 1;
               ++shared.finish_count;
@@ -255,7 +270,7 @@ void run_shard(const ShardedExecutorConfig& config,
         throw std::runtime_error(client.endpoint() +
                                  ": response size mismatch");
       }
-      std::lock_guard<std::mutex> lock(shared.mutex);
+      util::MutexLock lock(shared.mutex);
       for (std::size_t k = 0; k < chunk.size(); ++k) {
         reports[chunk[k]] = std::move(served[k]);
         shared.done[chunk[k]] = 1;
@@ -276,7 +291,7 @@ void run_shard(const ShardedExecutorConfig& config,
     }
 
     {
-      std::lock_guard<std::mutex> lock(shared.mutex);
+      util::MutexLock lock(shared.mutex);
       stats.failures += 1;
       stats.error = error;
       std::uint64_t handed_back = 0;
@@ -459,50 +474,60 @@ std::vector<RunReport> ShardedExecutor::run_all(
   }
 
   SharedState shared;
-  shared.owned.resize(config_.endpoints.size());
-  shared.attempts.assign(n, 0);
-  shared.request_error.assign(n, std::string());
-  shared.done.assign(n, 0);
-  shared.failed.assign(n, 0);
-  shared.solo.assign(n, 0);
-  shared.finish_reported.assign(n, 0);
-  shared.started.assign(n, 0);
-  shared.latest_snapshot.assign(n, nullptr);
+  {
+    // No shard thread exists yet, but the capability discipline is
+    // uniform: SharedState is touched under its mutex, always.
+    util::MutexLock lock(shared.mutex);
+    shared.owned.resize(config_.endpoints.size());
+    shared.attempts.assign(n, 0);
+    shared.request_error.assign(n, std::string());
+    shared.done.assign(n, 0);
+    shared.failed.assign(n, 0);
+    shared.solo.assign(n, 0);
+    shared.finish_reported.assign(n, 0);
+    shared.started.assign(n, 0);
+    shared.latest_snapshot.assign(n, nullptr);
+  }
 
   if (!healthy.empty()) {
-    if (config_.policy == ShardPolicy::kRoundRobin) {
-      for (std::size_t i = 0; i < n; ++i) {
-        shared.owned[healthy[i % healthy.size()]].push_back(i);
-      }
-      shared.owned_total = n;
-    } else if (config_.policy == ShardPolicy::kWeighted) {
-      // Load-aware static placement: each request (in order, so the
-      // partition is deterministic given the probe) goes to the shard
-      // with the lowest projected utilization
-      //     (reported load + assigned so far) / worker capacity,
-      // compared exactly by cross-multiplication — a 4-worker idle daemon
-      // owns 4x what a 1-worker one does, and a daemon already loaded by
-      // OTHER clients starts with that handicap. Requeue/steal dynamics
-      // on failure are identical to round-robin's.
-      std::vector<std::uint64_t> assigned(config_.endpoints.size(), 0);
-      for (std::size_t i = 0; i < n; ++i) {
-        std::size_t best = healthy.front();
-        for (const std::size_t s : healthy) {
-          const std::uint64_t cap_s =
-              std::max<std::uint64_t>(1, probed_jobs[s]);
-          const std::uint64_t cap_best =
-              std::max<std::uint64_t>(1, probed_jobs[best]);
-          if ((probed_load[s] + assigned[s]) * cap_best <
-              (probed_load[best] + assigned[best]) * cap_s) {
-            best = s;
-          }
+    {
+      // Placement happens under the mutex; released before the shard
+      // threads spawn (they block on it immediately).
+      util::MutexLock lock(shared.mutex);
+      if (config_.policy == ShardPolicy::kRoundRobin) {
+        for (std::size_t i = 0; i < n; ++i) {
+          shared.owned[healthy[i % healthy.size()]].push_back(i);
         }
-        shared.owned[best].push_back(i);
-        ++assigned[best];
+        shared.owned_total = n;
+      } else if (config_.policy == ShardPolicy::kWeighted) {
+        // Load-aware static placement: each request (in order, so the
+        // partition is deterministic given the probe) goes to the shard
+        // with the lowest projected utilization
+        //     (reported load + assigned so far) / worker capacity,
+        // compared exactly by cross-multiplication — a 4-worker idle daemon
+        // owns 4x what a 1-worker one does, and a daemon already loaded by
+        // OTHER clients starts with that handicap. Requeue/steal dynamics
+        // on failure are identical to round-robin's.
+        std::vector<std::uint64_t> assigned(config_.endpoints.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          std::size_t best = healthy.front();
+          for (const std::size_t s : healthy) {
+            const std::uint64_t cap_s =
+                std::max<std::uint64_t>(1, probed_jobs[s]);
+            const std::uint64_t cap_best =
+                std::max<std::uint64_t>(1, probed_jobs[best]);
+            if ((probed_load[s] + assigned[s]) * cap_best <
+                (probed_load[best] + assigned[best]) * cap_s) {
+              best = s;
+            }
+          }
+          shared.owned[best].push_back(i);
+          ++assigned[best];
+        }
+        shared.owned_total = n;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) shared.pending.push_back(i);
       }
-      shared.owned_total = n;
-    } else {
-      for (std::size_t i = 0; i < n; ++i) shared.pending.push_back(i);
     }
 
     std::vector<std::thread> workers;
@@ -525,9 +550,15 @@ std::vector<RunReport> ShardedExecutor::run_all(
     for (auto& worker : workers) worker.join();
   }
 
+  // Every shard thread has been joined: from here SharedState is
+  // single-threaded again, but the lock discipline stays uniform (the
+  // locks below are uncontended by construction).
   std::vector<std::size_t> undone;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!shared.done[i]) undone.push_back(i);
+  {
+    util::MutexLock lock(shared.mutex);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!shared.done[i]) undone.push_back(i);
+    }
   }
   if (undone.empty()) return reports;
 
@@ -550,6 +581,7 @@ std::vector<RunReport> ShardedExecutor::run_all(
     // locally too) cannot abandon the sibling fallback runs mid-drain;
     // the aggregate throw below still names each failure.
     std::vector<std::size_t> fallback_failed;
+    util::MutexLock lock(shared.mutex);
     for (std::size_t k = 0; k < futures.size(); ++k) {
       try {
         reports[undone[k]] = futures[k].get();
@@ -579,16 +611,19 @@ std::vector<RunReport> ShardedExecutor::run_all(
     if (!shard.error.empty()) what += "; " + shard.error;
   }
   std::size_t listed = 0;
-  for (const std::size_t i : undone) {
-    if (shared.request_error[i].empty()) continue;
-    if (listed == 3) {
-      what += "; ...";
-      break;
+  {
+    util::MutexLock lock(shared.mutex);
+    for (const std::size_t i : undone) {
+      if (shared.request_error[i].empty()) continue;
+      if (listed == 3) {
+        what += "; ...";
+        break;
+      }
+      what += "; '" + requests[i].label_or_default() + "' after " +
+              std::to_string(shared.attempts[i]) +
+              " attempt(s): " + shared.request_error[i];
+      ++listed;
     }
-    what += "; '" + requests[i].label_or_default() + "' after " +
-            std::to_string(shared.attempts[i]) +
-            " attempt(s): " + shared.request_error[i];
-    ++listed;
   }
   throw std::runtime_error(what);
 }

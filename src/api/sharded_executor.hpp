@@ -63,6 +63,7 @@
 #include "api/optimizer.hpp"
 #include "api/request.hpp"
 #include "api/result_cache.hpp"
+// moela-lint: allow(layer-order) coordinator-as-client exception, see docs/architecture.md
 #include "serve/sched/policy.hpp"
 #include "util/metrics.hpp"
 

@@ -14,8 +14,9 @@
 //     preserved where no fairness rule says otherwise).
 //
 // The queue is payload-agnostic and NOT internally synchronized: the
-// Scheduler guards it with its own mutex, and the unit tests drive it
-// single-threaded to assert pop order exactly.
+// Scheduler guards it with its own mutex — statically enforced by the
+// `queue_ MOELA_GUARDED_BY(mutex_)` annotation in scheduler.hpp — and the
+// unit tests drive it single-threaded to assert pop order exactly.
 #pragma once
 
 #include <cstddef>

@@ -51,7 +51,7 @@ Scheduler::Scheduler(api::Executor& executor, SchedulerConfig config)
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   wake_.notify_all();
@@ -74,7 +74,7 @@ Scheduler::Admission Scheduler::submit(std::vector<api::RunRequest> requests,
   batch->total = n;
   admission.futures.reserve(n);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     // Admission is all-or-nothing ON THE QUEUED BACKLOG: work in flight
     // is capacity being used, not load waiting, so it does not count
     // against the bound.
@@ -121,7 +121,7 @@ Scheduler::Admission Scheduler::submit(std::vector<api::RunRequest> requests,
 }
 
 void Scheduler::retire(std::size_t cls) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   --counters_[cls].running;
   ++counters_[cls].completed;
 }
@@ -131,8 +131,8 @@ void Scheduler::worker_loop() {
     Priority priority = Priority::kNormal;
     QueueItem item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) wake_.wait(lock);
       if (queue_.empty()) return;  // shutting down and drained
       queue_.pop(priority, item);
       ++counters_[class_index(priority)].running;
@@ -142,19 +142,19 @@ void Scheduler::worker_loop() {
 }
 
 ClassCounters Scheduler::counters(Priority priority) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ClassCounters out = counters_[class_index(priority)];
   out.queued = queue_.size(priority);
   return out;
 }
 
 std::size_t Scheduler::queued_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t Scheduler::running_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t running = 0;
   for (const ClassCounters& counters : counters_) {
     running += counters.running;

@@ -19,12 +19,10 @@
 // counters feed the health verb.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -33,6 +31,7 @@
 #include "serve/sched/policy.hpp"
 #include "serve/sched/queue.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::serve::sched {
 
@@ -111,12 +110,14 @@ class Scheduler {
   util::Histogram* queue_wait_[kNumClasses] = {};
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  FairQueue queue_;
+  mutable util::Mutex mutex_;
+  util::CondVar wake_;
+  /// The FairQueue is deliberately not internally synchronized; this
+  /// annotation IS its locking contract (see queue.hpp).
+  FairQueue queue_ MOELA_GUARDED_BY(mutex_);
   /// queued is derived from queue_; running/completed/shed live here.
-  ClassCounters counters_[kNumClasses];
-  bool shutting_down_ = false;
+  ClassCounters counters_[kNumClasses] MOELA_GUARDED_BY(mutex_);
+  bool shutting_down_ MOELA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace moela::serve::sched

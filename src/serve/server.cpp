@@ -193,7 +193,7 @@ void Server::accept_loop() {
     reap_connections();
     auto connection = std::make_shared<Connection>(
         fd, next_lane_.fetch_add(1, std::memory_order_relaxed));
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    util::MutexLock lock(conn_mutex_);
     connections_.emplace_back(connection, std::thread([this, connection] {
                                 serve_connection(connection);
                               }));
@@ -216,7 +216,7 @@ void Server::watcher_loop() {
     if (n <= 0 || watcher_exit_.load(std::memory_order_relaxed)) return;
     if (shutdown_requested()) begin_drain();
     if (hard_stop_.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lock(control_mutex_);
+      util::MutexLock lock(control_mutex_);
       for (api::RunControl* control : active_controls_) {
         control->request_stop();
       }
@@ -226,7 +226,7 @@ void Server::watcher_loop() {
 
 void Server::begin_drain() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  util::MutexLock lock(conn_mutex_);
   for (auto& [connection, thread] : connections_) {
     // Nudge idle readers; batch responses still flow (write side stays
     // open) and each reader exits once its batches are joined.
@@ -237,7 +237,7 @@ void Server::begin_drain() {
 }
 
 void Server::reap_connections() {
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  util::MutexLock lock(conn_mutex_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (it->first->done.load(std::memory_order_acquire) &&
         it->second.joinable()) {
@@ -250,7 +250,7 @@ void Server::reap_connections() {
 }
 
 void Server::wait() {
-  std::lock_guard<std::mutex> lock(wait_mutex_);
+  util::MutexLock lock(wait_mutex_);
   if (!started_ || joined_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
   // Re-issue the drain nudge now that the accept loop is gone: the
@@ -263,7 +263,7 @@ void Server::wait() {
   // No new connections can appear past this point.
   std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> remaining;
   {
-    std::lock_guard<std::mutex> conn_lock(conn_mutex_);
+    util::MutexLock conn_lock(conn_mutex_);
     remaining.swap(connections_);
   }
   for (auto& [connection, thread] : remaining) {
@@ -306,7 +306,7 @@ void Server::serve_connection(const std::shared_ptr<Connection>& connection) {
   std::vector<std::pair<std::shared_ptr<std::atomic<bool>>, std::thread>>
       batches;
   {
-    std::lock_guard<std::mutex> lock(connection->batch_mutex);
+    util::MutexLock lock(connection->batch_mutex);
     batches.swap(connection->batches);
   }
   for (auto& [done, thread] : batches) {
@@ -314,7 +314,7 @@ void Server::serve_connection(const std::shared_ptr<Connection>& connection) {
   }
   // Close under conn_mutex_ so begin_drain() can never shutdown() an fd
   // number the OS has already reused.
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  util::MutexLock lock(conn_mutex_);
   ::close(connection->fd);
   connection->done.store(true, std::memory_order_release);
 }
@@ -329,7 +329,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
   std::string parse_error;
   const auto message = Json::try_parse(line, &parse_error);
   auto respond = [&](const Json& response) {
-    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    util::MutexLock lock(connection->write_mutex);
     send_json(connection->fd, response);
   };
   if (!message.has_value()) {
@@ -467,7 +467,7 @@ Json Server::sched_classes_json() const {
 void Server::handle_run(const std::shared_ptr<Connection>& connection,
                         std::uint64_t id, const Json& message) {
   auto respond_error = [&](const std::string& error) {
-    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    util::MutexLock lock(connection->write_mutex);
     send_json(connection->fd, make_error(id, error));
   };
   if (shutdown_requested()) {
@@ -543,7 +543,7 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
     labels->push_back(request.label_or_default());
   }
 
-  std::lock_guard<std::mutex> lock(connection->batch_mutex);
+  util::MutexLock lock(connection->batch_mutex);
   // Reap finished collector threads so a long-lived connection does not
   // accumulate them.
   for (auto it = connection->batches.begin();
@@ -597,15 +597,15 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
           .set("total", progress.batch_size)
           .set("cache_hit", progress.cache_hit);
     }
-    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    util::MutexLock write_lock(connection->write_mutex);
     send_json(connection->fd, event);
   });
   {
-    std::lock_guard<std::mutex> run_lock(connection->run_mutex);
+    util::MutexLock run_lock(connection->run_mutex);
     connection->active_runs.emplace(id, control);
   }
   {
-    std::lock_guard<std::mutex> control_lock(control_mutex_);
+    util::MutexLock control_lock(control_mutex_);
     active_controls_.insert(control.get());
     if (hard_stop_.load(std::memory_order_relaxed)) control->request_stop();
   }
@@ -617,7 +617,7 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
     // then answer with the structured overload facts so the client can
     // back off instead of guessing.
     {
-      std::lock_guard<std::mutex> run_lock(connection->run_mutex);
+      util::MutexLock run_lock(connection->run_mutex);
       auto [begin, end] = connection->active_runs.equal_range(id);
       for (auto it = begin; it != end; ++it) {
         if (it->second == control) {
@@ -627,7 +627,7 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
       }
     }
     {
-      std::lock_guard<std::mutex> control_lock(control_mutex_);
+      util::MutexLock control_lock(control_mutex_);
       active_controls_.erase(control.get());
     }
     connection->inflight.fetch_sub(batch_size, std::memory_order_relaxed);
@@ -642,7 +642,7 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
         .set("queued", static_cast<std::uint64_t>(admission.queue_depth))
         .set("max_queued", static_cast<std::uint64_t>(config_.max_queued))
         .set("retry_after_ms", admission.retry_after_ms);
-    std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+    util::MutexLock write_lock(connection->write_mutex);
     send_json(connection->fd, error);
     return;
   }
@@ -661,7 +661,7 @@ void Server::handle_run(const std::shared_ptr<Connection>& connection,
 void Server::handle_cancel(const std::shared_ptr<Connection>& connection,
                            std::uint64_t id, const Json& message) {
   auto respond = [&](const Json& response) {
-    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    util::MutexLock lock(connection->write_mutex);
     send_json(connection->fd, response);
   };
   const Json* target_json = message.find("target");
@@ -683,7 +683,7 @@ void Server::handle_cancel(const std::shared_ptr<Connection>& connection,
   // answers "cancelled": false so the client can tell a no-op from a hit.
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> lock(connection->run_mutex);
+    util::MutexLock lock(connection->run_mutex);
     auto [begin, end] = connection->active_runs.equal_range(target);
     for (auto it = begin; it != end; ++it) {
       it->second->request_stop();
@@ -722,7 +722,7 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
   // The batch has answered (reports collected): retire it from the
   // cancel registry — a later cancel for this id is the benign no-op.
   {
-    std::lock_guard<std::mutex> lock(connection->run_mutex);
+    util::MutexLock lock(connection->run_mutex);
     auto [begin, end] = connection->active_runs.equal_range(id);
     for (auto it = begin; it != end; ++it) {
       if (it->second == control_ptr) {
@@ -732,7 +732,7 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(control_mutex_);
+    util::MutexLock lock(control_mutex_);
     active_controls_.erase(control_ptr.get());
   }
 
@@ -748,7 +748,7 @@ void Server::run_batch(std::shared_ptr<Connection> connection,
   Json response = make_ok(id);
   response.set("reports", std::move(reports));
   {
-    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    util::MutexLock lock(connection->write_mutex);
     send_json(connection->fd, response);
   }
 }

@@ -39,11 +39,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -58,6 +56,7 @@
 #include "serve/sched/scheduler.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace moela::serve {
@@ -181,14 +180,17 @@ class Server {
     /// the same priority share that class's slots round-robin by lane.
     const std::uint64_t lane;
     /// Serializes response/event lines from concurrent batch threads.
-    std::mutex write_mutex;
+    /// Guards the fd's write side (a kernel resource, not a field), so
+    /// there is nothing to MOELA_GUARDED_BY — holding it around every
+    /// send_line is the whole protocol.
+    util::Mutex write_mutex;
     /// Runs queued or running on this connection (the in-flight bound).
     std::atomic<std::size_t> inflight{0};
     /// Batch dispatcher threads, reaped as they finish and joined on
     /// connection close.
-    std::mutex batch_mutex;
+    util::Mutex batch_mutex;
     std::vector<std::pair<std::shared_ptr<std::atomic<bool>>, std::thread>>
-        batches;
+        batches MOELA_GUARDED_BY(batch_mutex);
     /// In-flight "run" batches by request id, so a "cancel" verb on this
     /// connection can flip the batch's RunControl. Registered by
     /// handle_run BEFORE the dispatcher thread spawns — a cancel that
@@ -196,9 +198,9 @@ class Server {
     /// how the reader and dispatcher threads interleave. A multimap
     /// because ids are client-chosen and nothing stops a client reusing
     /// one; cancel then stops every batch carrying the target id.
-    std::mutex run_mutex;
+    util::Mutex run_mutex;
     std::multimap<std::uint64_t, std::shared_ptr<api::RunControl>>
-        active_runs;
+        active_runs MOELA_GUARDED_BY(run_mutex);
     std::atomic<bool> done{false};
   };
 
@@ -259,13 +261,14 @@ class Server {
 
   std::thread accept_thread_;
   std::thread watcher_thread_;
-  std::mutex conn_mutex_;
+  util::Mutex conn_mutex_;
   std::vector<std::pair<std::shared_ptr<Connection>, std::thread>>
-      connections_;
+      connections_ MOELA_GUARDED_BY(conn_mutex_);
 
   /// Active per-batch controls, so a hard stop can cancel in-flight runs.
-  std::mutex control_mutex_;
-  std::set<api::RunControl*> active_controls_;
+  util::Mutex control_mutex_;
+  std::set<api::RunControl*> active_controls_
+      MOELA_GUARDED_BY(control_mutex_);
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> hard_stop_{false};
@@ -277,9 +280,11 @@ class Server {
   /// Runs queued or running across ALL connections right now (the `health`
   /// verb's load signal for shard placement).
   std::atomic<std::size_t> inflight_total_{0};
+  /// Written by start() before any server thread spawns, read-only after
+  /// — so uptime_seconds() may read it lock-free.
   bool started_ = false;
-  bool joined_ = false;
-  std::mutex wait_mutex_;
+  util::Mutex wait_mutex_;
+  bool joined_ MOELA_GUARDED_BY(wait_mutex_) = false;
 };
 
 }  // namespace moela::serve

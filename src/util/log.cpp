@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace moela::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+/// Serializes whole lines onto stderr (a shared stream, not a field — so
+/// nothing is MOELA_GUARDED_BY it; holding it around fprintf is the
+/// protocol).
+Mutex g_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -31,7 +35,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
 }
 

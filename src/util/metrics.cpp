@@ -140,7 +140,7 @@ MetricsRegistry::Series& MetricsRegistry::resolve(
     MetricLabels labels, const std::vector<double>* bounds) {
   std::sort(labels.begin(), labels.end());
   const std::string key = render_labels(labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [family_it, family_created] = families_.try_emplace(name);
   Family& family = family_it->second;
   if (family_created) {
@@ -191,7 +191,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 Json MetricsRegistry::snapshot_json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Json out = Json::object();
   for (const auto& [name, family] : families_) {
     Json entry = Json::object();
@@ -242,7 +242,7 @@ Json MetricsRegistry::snapshot_json() const {
 }
 
 std::string MetricsRegistry::prometheus_text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {

@@ -28,12 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::util {
 
@@ -165,8 +165,12 @@ class MetricsRegistry {
                   Kind kind, MetricLabels labels,
                   const std::vector<double>* bounds);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family> families_;
+  mutable util::Mutex mutex_;
+  /// Guarded for CREATION and iteration only; the Counter/Gauge/Histogram
+  /// objects a Series owns are lock-free by design (design constraint 1
+  /// above: relaxed atomics on the increment path), stable-addressed via
+  /// unique_ptr, and deliberately mutate without this capability.
+  std::map<std::string, Family> families_ MOELA_GUARDED_BY(mutex_);
 };
 
 }  // namespace moela::util

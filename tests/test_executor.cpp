@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -25,6 +24,7 @@
 #include "api/run_log.hpp"
 #include "noc/design.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace moela::api {
 namespace {
@@ -176,12 +176,12 @@ TEST(Executor, ProgressEventsCoverTheBatch) {
   std::vector<RunRequest> requests{zdt1_request("nsga2", 1),
                                    zdt1_request("nsga2", 2),
                                    zdt1_request("nsga2", 3)};
-  std::mutex mutex;
+  util::Mutex mutex;
   std::vector<RunProgress> finished;
   std::size_t cadence_events = 0;
   RunControl control;
   control.on_progress([&](const RunProgress& progress) {
-    std::lock_guard<std::mutex> lock(mutex);
+    util::MutexLock lock(mutex);
     if (progress.finished) {
       finished.push_back(progress);
     } else {

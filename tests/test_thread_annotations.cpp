@@ -1,0 +1,233 @@
+// util/thread_annotations.hpp: the annotated Mutex/MutexLock/CondVar
+// wrappers every concurrent subsystem now builds on. The static half of
+// the contract (clang -Wthread-safety) is checked by the CI thread-safety
+// leg; these tests pin the dynamic half — the wrappers must behave exactly
+// like the std types they wrap, on GCC and clang alike — and exercise them
+// under real contention so the TSan leg covers the wrapper paths too.
+//
+// Also here: regression tests for the two lock-coverage gaps the
+// annotation pass surfaced (see the PR that introduced this file):
+//   * ResultCache::set_max_disk_bytes raced concurrent store()s — the cap
+//     is now a relaxed atomic;
+//   * RunLogger::ok()/write_line probed the guarded stream outside the
+//     lock — openness is now a const-after-ctor flag.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/request.hpp"
+#include "api/result_cache.hpp"
+#include "api/run_log.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace moela {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Mutex / MutexLock ----------------------------------------------------
+
+TEST(ThreadAnnotations, MutexLockProvidesMutualExclusion) {
+  util::Mutex mutex;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        util::MutexLock lock(mutex);
+        ++counter;  // unsynchronized long: TSan would catch a lost lock
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(ThreadAnnotations, TryLockReportsHeldMutex) {
+  util::Mutex mutex;
+  ASSERT_TRUE(mutex.try_lock());
+  // Contended try_lock must fail, from another thread (try_lock on a
+  // mutex the SAME thread holds is UB for std::mutex).
+  std::atomic<bool> contended_result{true};
+  std::thread prober([&] { contended_result = mutex.try_lock(); });
+  prober.join();
+  EXPECT_FALSE(contended_result.load());
+  mutex.unlock();
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+// --- CondVar --------------------------------------------------------------
+
+TEST(ThreadAnnotations, CondVarWakesWaiterAndReacquiresLock) {
+  util::Mutex mutex;
+  util::CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    util::MutexLock lock(mutex);
+    // The canonical predicate loop the wrapper's wait() is shaped for.
+    while (!ready) cv.wait(lock);
+    observed = ready;  // must hold the lock again here
+  });
+  {
+    util::MutexLock lock(mutex);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(ThreadAnnotations, CondVarNotifyAllWakesEveryWaiter) {
+  util::Mutex mutex;
+  util::CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      util::MutexLock lock(mutex);
+      while (!go) cv.wait(lock);
+      ++awake;
+    });
+  }
+  {
+    util::MutexLock lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& waiter : waiters) waiter.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+// --- regression: ResultCache cap changes racing stores --------------------
+
+api::RunRequest small_request(std::uint64_t seed) {
+  api::RunRequest request;
+  request.problem = "zdt1";
+  request.problem_options.num_variables = 4;
+  request.algorithm = "nsga2";
+  request.options.max_evaluations = 10;
+  request.options.seed = seed;
+  return request;
+}
+
+api::RunReport tiny_report(std::uint64_t seed) {
+  api::RunReport report;
+  report.algorithm = "nsga2";
+  report.provenance.seed = seed;
+  report.evaluations = 10;
+  report.final_front = {{1.0, 2.0}};
+  return report;
+}
+
+TEST(ThreadAnnotations, ResultCacheCapChangesAreSafeUnderConcurrentStores) {
+  // Before the fix, set_max_disk_bytes() wrote a plain uintmax_t that
+  // store()/enforce_disk_cap() read concurrently — a data race TSan flags
+  // on this exact schedule. Now the cap is a relaxed atomic: this test
+  // hammers stores (each of which reads the cap, twice on the eviction
+  // path) against a tuner thread flipping it.
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("moela-test-cap-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  api::ResultCache cache(dir.string());
+  std::atomic<bool> done{false};
+  std::thread tuner([&] {
+    std::uintmax_t caps[] = {1ull << 30, 1ull << 10, 0, 1ull << 20};
+    for (int i = 0; !done.load(std::memory_order_relaxed); ++i) {
+      cache.set_max_disk_bytes(caps[i % 4]);
+    }
+  });
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 50; ++i) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(t) * 1000 + i;
+        cache.store(small_request(seed).cache_key(), tiny_report(seed));
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  done = true;
+  tuner.join();
+  // Whatever cap won, the memory tier holds every stored report.
+  EXPECT_EQ(cache.stats().stores, 200u);
+  cache.set_max_disk_bytes(1ull << 30);
+  EXPECT_EQ(cache.max_disk_bytes(), 1ull << 30);
+  fs::remove_all(dir);
+}
+
+// --- regression: RunLogger openness probe ---------------------------------
+
+TEST(ThreadAnnotations, RunLoggerOkIsLockFreeAndAppendIsSerialized) {
+  // Before the fix, ok() and write_line()'s fast path called
+  // out_.is_open() — reading the mutex-guarded stream without the lock,
+  // racing concurrent appends' writes to the same object. ok_ is now an
+  // immutable post-constructor flag; this test checks it from many
+  // threads while appends are in flight, and asserts every record lands
+  // intact (one valid JSON line each).
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("moela-test-runlog-" + std::to_string(::getpid()) + ".jsonl");
+  fs::remove(path);
+  {
+    api::RunLogger logger(path.string());
+    ASSERT_TRUE(logger.ok());
+    constexpr int kThreads = 4;
+    constexpr int kRecords = 25;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kRecords; ++i) {
+          EXPECT_TRUE(logger.ok());  // lock-free read racing the appends
+          api::RunRequest request = small_request(
+              static_cast<std::uint64_t>(t) * 100 + i);
+          logger.append_error(request, "race-test", 0.0);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_TRUE(logger.ok());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');  // interleaved writes would corrupt this
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 100u);
+  fs::remove(path);
+}
+
+TEST(ThreadAnnotations, RunLoggerUnopenableIsNotOkAndAppendsAreNoOps) {
+  api::RunLogger logger("/nonexistent-dir-for-moela-test/run.jsonl");
+  EXPECT_FALSE(logger.ok());
+  logger.append_error(small_request(1), "ignored", 0.0);  // must not crash
+  EXPECT_FALSE(logger.ok());
+}
+
+}  // namespace
+}  // namespace moela
